@@ -1,0 +1,118 @@
+// Command prtrace inspects JSON-lines event traces written by prsim
+// -trace (or any trace.Recorder): summary statistics, rollback-depth
+// distribution, per-transaction preemption counts, and trace diffing
+// for determinism checks.
+//
+// Usage:
+//
+//	prtrace summary run.jsonl
+//	prtrace diff a.jsonl b.jsonl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"partialrollback/internal/render"
+	"partialrollback/internal/trace"
+	"partialrollback/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 3 {
+		log.Fatalf("usage: prtrace summary FILE | prtrace diff FILE1 FILE2")
+	}
+	switch os.Args[1] {
+	case "summary":
+		summary(os.Args[2])
+	case "diff":
+		if len(os.Args) < 4 {
+			log.Fatal("usage: prtrace diff FILE1 FILE2")
+		}
+		diff(os.Args[2], os.Args[3])
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func readTrace(path string) []trace.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return records
+}
+
+func summary(path string) {
+	records := readTrace(path)
+	s := trace.Summarize(records)
+	fmt.Printf("%s: %d events\n\n", path, s.Events)
+	fmt.Print(render.Table(
+		[]string{"grants", "waits", "deadlocks", "rollbacks", "commits"},
+		[][]string{{
+			fmt.Sprint(s.Grants), fmt.Sprint(s.Waits), fmt.Sprint(s.Deadlocks),
+			fmt.Sprint(s.Rollbacks), fmt.Sprint(s.Commits),
+		}},
+	))
+	if s.Rollbacks == 0 {
+		fmt.Println("\nno rollbacks recorded")
+		return
+	}
+	fmt.Printf("\nrollback depth: p50=%d p90=%d p99=%d max=%d\n",
+		s.Percentile(50), s.Percentile(90), s.Percentile(99), s.Percentile(100))
+	bounds := []int64{2, 5, 10, 20, 50}
+	hist := s.Histogram(bounds)
+	fmt.Println("depth histogram:")
+	labels := []string{"<=2", "3-5", "6-10", "11-20", "21-50", ">50"}
+	for i, c := range hist {
+		bar := ""
+		for j := 0; j < c; j++ {
+			bar += "#"
+			if j > 60 {
+				bar += "..."
+				break
+			}
+		}
+		fmt.Printf("  %-6s %4d %s\n", labels[i], c, bar)
+	}
+
+	type pair struct {
+		id txn.ID
+		n  int
+	}
+	var per []pair
+	for id, n := range s.PerTxnRollbacks {
+		per = append(per, pair{id, n})
+	}
+	sort.Slice(per, func(i, j int) bool {
+		if per[i].n != per[j].n {
+			return per[i].n > per[j].n
+		}
+		return per[i].id < per[j].id
+	})
+	fmt.Println("most-preempted transactions:")
+	for i, p := range per {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %v: %d rollbacks\n", p.id, p.n)
+	}
+}
+
+func diff(pathA, pathB string) {
+	a := readTrace(pathA)
+	b := readTrace(pathB)
+	if d := trace.Diff(a, b); d != "" {
+		fmt.Println(d)
+		os.Exit(1)
+	}
+	fmt.Printf("traces identical (%d events)\n", len(a))
+}

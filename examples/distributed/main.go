@@ -1,0 +1,159 @@
+// Distributed: the §3.3 multi-site system, fully message-passing. A
+// warehouse network partitions stock across regional sites; transfer
+// transactions span sites, acquiring locks in site order so every
+// deadlock stays local to one site and is repaired there with a partial
+// rollback message to the victim's home.
+//
+// Run with:
+//
+//	go run ./examples/distributed [-sites 3] [-latency 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/dist"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/sim"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+var (
+	sites   = flag.Int("sites", 3, "number of sites")
+	latency = flag.Int64("latency", 15, "inter-site message latency (virtual ticks)")
+)
+
+func main() {
+	flag.Parse()
+
+	// Stock for 4 products at every site; product p at site s is
+	// "stock:s:p", explicitly placed.
+	const products = 4
+	tp := dist.Topology{Sites: *sites, EntitySite: map[string]int{}}
+	initial := map[string]int64{}
+	var names []string
+	for s := 0; s < *sites; s++ {
+		for p := 0; p < products; p++ {
+			name := fmt.Sprintf("stock:%d:%d", s, p)
+			tp.EntitySite[name] = s
+			initial[name] = 100
+			names = append(names, name)
+		}
+	}
+	newStore := func() *entity.Store {
+		st := entity.NewStore(initial)
+		st.AddConstraint(entity.SumConstraint("stock-total",
+			int64(len(names))*100, names...))
+		return st
+	}
+
+	// Rebalancing transactions move stock between sites (cross-site)
+	// and between products at one site (local, deadlock-prone). All
+	// programs are written natively in site order — locks at the
+	// lower-numbered site come first — so no transform is needed and
+	// the audit computation between locks is preserved (that is the
+	// progress partial rollback saves).
+	var programs []*txn.Program
+	mk := func(name, from, to string, qty int64) *txn.Program {
+		first, second := from, to
+		if tp.SiteOf(second) < tp.SiteOf(first) {
+			first, second = second, first
+		}
+		bld := txn.NewProgram(name).
+			Local("f", 0).Local("t", 0).Local("audit", 0).
+			LockX(first).Read(first, "f")
+		for i := 0; i < 6; i++ {
+			bld.Compute("audit", value.Add(value.L("audit"), value.Mod(value.L("f"), value.C(7))))
+		}
+		bld.LockX(second).Read(second, "t")
+		// Locals f/t follow lock order; the transfer amounts follow
+		// from/to, expressed over whichever local holds each side.
+		fromLocal, toLocal := "f", "t"
+		if first != from {
+			fromLocal, toLocal = "t", "f"
+		}
+		return bld.
+			Write(from, value.Sub(value.L(fromLocal), value.C(qty))).
+			Write(to, value.Add(value.L(toLocal), value.C(qty))).
+			MustBuild()
+	}
+	// Local rebalances chain three products at one site with audit
+	// computation between the locks, so a deadlock victim that has
+	// already acquired its first products keeps that progress under
+	// partial rollback.
+	mk4 := func(name string, ents [4]string, qty int64) *txn.Program {
+		bld := txn.NewProgram(name).
+			Local("v0", 0).Local("v1", 0).Local("v2", 0).Local("v3", 0).
+			Local("audit", 0)
+		for i, e := range ents {
+			v := fmt.Sprintf("v%d", i)
+			bld.LockX(e).Read(e, v)
+			for k := 0; k < 5; k++ {
+				bld.Compute("audit", value.Add(value.L("audit"), value.Mod(value.L(v), value.C(7))))
+			}
+		}
+		return bld.
+			Write(ents[0], value.Sub(value.L("v0"), value.C(3*qty))).
+			Write(ents[1], value.Add(value.L("v1"), value.C(qty))).
+			Write(ents[2], value.Add(value.L("v2"), value.C(qty))).
+			Write(ents[3], value.Add(value.L("v3"), value.C(qty))).
+			MustBuild()
+	}
+	n := 0
+	for s := 0; s < *sites; s++ {
+		next := (s + 1) % *sites
+		for p := 0; p < products; p++ {
+			// Cross-site move, and a local four-product chain. Chains
+			// alternate direction (ascending vs descending product
+			// order), so deadlocks contest *mid-chain* locks — exactly
+			// where partial rollback preserves the victim's earlier
+			// acquisitions and audit work.
+			chain := [4]string{}
+			for i := range chain {
+				idx := (p + i) % products
+				if p%2 == 1 {
+					idx = (p + products - i) % products
+				}
+				chain[i] = fmt.Sprintf("stock:%d:%d", s, idx)
+			}
+			programs = append(programs,
+				mk(fmt.Sprintf("x%d", n), fmt.Sprintf("stock:%d:%d", s, p), fmt.Sprintf("stock:%d:%d", next, p), 5),
+				mk4(fmt.Sprintf("l%d", n), chain, 3),
+			)
+			n++
+		}
+	}
+	w := sim.Workload{Name: "warehouse", NewStore: newStore, Programs: programs}
+
+	fmt.Printf("%d transactions over %d sites (latency %d ticks/message):\n\n", len(programs), *sites, *latency)
+	for _, strat := range []core.Strategy{core.Total, core.MCS} {
+		res, err := dist.MsgRun(w, dist.MsgConfig{
+			Topology: tp, Strategy: strat, Latency: *latency, RecordHistory: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := res.Recorder.CheckSerializable(); err != nil {
+			log.Fatalf("%v: %v", strat, err)
+		}
+		var total int64
+		for _, name := range names {
+			total += res.Store.MustGet(name)
+		}
+		if want := int64(len(names)) * 100; total != want {
+			log.Fatalf("%v: stock total %d, want %d", strat, total, want)
+		}
+		m := res.Metrics
+		fmt.Printf("  %-6v commits=%-3d deadlocks=%-3d lost ops=%-4d messages=%-4d copy ships=%-3d makespan=%d\n",
+			strat, m.Commits, m.Deadlocks, m.LostOps, m.Total(), m.CopyShips, m.Makespan)
+		fmt.Printf("         deadlocks by site: %v (all local — site ordering forbids cross-site cycles)\n",
+			m.PerSiteDeadlocks)
+	}
+	fmt.Println("\nboth runs were conflict-serializable and preserved total stock;")
+	fmt.Println("partial rollback repairs each local deadlock while keeping the victim's")
+	fmt.Println("progress at other sites — only release messages cross the network.")
+}

@@ -1,0 +1,3 @@
+module partialrollback
+
+go 1.22

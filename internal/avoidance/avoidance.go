@@ -1,0 +1,254 @@
+// Package avoidance implements the deadlock-*avoidance* baselines the
+// paper's introduction contrasts with detection + rollback (§1):
+//
+//   - Banker: Dijkstra's banker's algorithm adapted to single-unit
+//     lockable entities — every transaction declares its full lock set
+//     (claim) up front, and a request is granted only if the resulting
+//     state is safe (some completion order exists). Requires a-priori
+//     information the paper's setting explicitly lacks.
+//   - Tree (hierarchical) ordering: all transactions acquire locks in a
+//     global entity order (Silberschatz & Kedem), making deadlock
+//     impossible by construction. Realized as a workload transform plus
+//     a run under the normal engine, asserting zero deadlocks.
+//
+// These never roll anything back; the price is admission delay (banker)
+// or constrained program structure (ordering). Experiment E12 compares
+// their makespan and waiting against detection + partial rollback.
+package avoidance
+
+import (
+	"fmt"
+	"sort"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/sim"
+	"partialrollback/internal/txn"
+)
+
+// BankerResult reports a banker's-algorithm run.
+type BankerResult struct {
+	// Makespan is the number of scheduler sweeps until all commit.
+	Makespan int64
+	// Waits counts request delays imposed by the safety check beyond
+	// plain lock conflicts.
+	SafetyWaits int64
+	// ConflictWaits counts delays from ordinary lock conflicts.
+	ConflictWaits int64
+	Commits       int
+}
+
+// banker runs the claim-aware admission control. It reuses the real
+// engine but gates every lock request through a safety check: the
+// request may proceed only if, assuming it is granted, every
+// transaction can still finish in some order given declared claims.
+type banker struct {
+	sys    *core.System
+	claims map[txn.ID]map[string]bool // declared full lock sets
+}
+
+// safeToRequest simulates granting entity to id and checks whether a
+// completion order exists: repeatedly retire any transaction whose
+// remaining claim is free or held by itself.
+func (b *banker) safeToRequest(id txn.ID, entityName string, exclusive bool) bool {
+	// holders[e] = set of current holders (after hypothetical grant).
+	type holdState struct {
+		holders map[txn.ID]bool
+		anyX    bool
+	}
+	hold := map[string]*holdState{}
+	note := func(e string, t txn.ID, x bool) {
+		h := hold[e]
+		if h == nil {
+			h = &holdState{holders: map[txn.ID]bool{}}
+			hold[e] = h
+		}
+		h.holders[t] = true
+		if x {
+			h.anyX = true
+		}
+	}
+	live := map[txn.ID]bool{}
+	for _, t := range b.sys.IDs() {
+		st, _ := b.sys.Status(t)
+		if st == core.StatusCommitted {
+			continue
+		}
+		live[t] = true
+		for _, e := range b.sys.Held(t) {
+			note(e, t, b.sys.HoldsExclusive(t, e))
+		}
+	}
+	note(entityName, id, exclusive)
+
+	// Retirement loop.
+	for len(live) > 0 {
+		retired := txn.None
+		for t := range live {
+			ok := true
+			for e := range b.claims[t] {
+				h := hold[e]
+				if h == nil {
+					continue
+				}
+				// t can finish if no OTHER transaction holds e in a
+				// conflicting way. (Conservative: any other holder of a
+				// claimed entity blocks retirement when either side
+				// would need exclusivity; we treat claims as exclusive
+				// needs, the classical single-unit banker.)
+				for other := range h.holders {
+					if other != t {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				retired = t
+				break
+			}
+		}
+		if retired == txn.None {
+			return false
+		}
+		delete(live, retired)
+		for e := range b.claims[retired] {
+			if h := hold[e]; h != nil {
+				delete(h.holders, retired)
+			}
+		}
+	}
+	return true
+}
+
+// RunBanker executes the workload under banker's-style avoidance.
+func RunBanker(w sim.Workload, maxSweeps int64) (BankerResult, error) {
+	if maxSweeps == 0 {
+		maxSweeps = 1_000_000
+	}
+	store := w.NewStore()
+	sys := core.New(core.Config{Store: store, Strategy: core.Total})
+	bk := &banker{sys: sys, claims: map[txn.ID]map[string]bool{}}
+	var res BankerResult
+
+	type pending struct {
+		id   txn.ID
+		prog *txn.Program
+	}
+	var all []pending
+	for _, p := range w.Programs {
+		for _, op := range p.Ops {
+			if op.Kind == txn.OpLockS {
+				return res, fmt.Errorf("avoidance: banker baseline supports exclusive locks only (program %s)", p.Name)
+			}
+		}
+		id, err := sys.Register(p)
+		if err != nil {
+			return res, err
+		}
+		claim := map[string]bool{}
+		for _, e := range txn.Analyze(p).LockSet() {
+			claim[e] = true
+		}
+		bk.claims[id] = claim
+		all = append(all, pending{id, p})
+	}
+
+	for sweep := int64(0); ; sweep++ {
+		if sweep >= maxSweeps {
+			return res, fmt.Errorf("avoidance: banker exceeded %d sweeps", maxSweeps)
+		}
+		if sys.AllCommitted() {
+			res.Makespan = sweep
+			res.Commits = len(all)
+			if err := store.CheckConsistent(); err != nil {
+				return res, err
+			}
+			return res, nil
+		}
+		for _, p := range all {
+			st, _ := sys.Status(p.id)
+			switch st {
+			case core.StatusCommitted:
+				continue
+			case core.StatusWaiting:
+				res.ConflictWaits++
+				continue
+			}
+			// Peek the next op; gate lock requests through safety.
+			op, ok := nextOp(sys, p.id, p.prog)
+			if ok && op.Kind.IsLockRequest() {
+				if !bk.safeToRequest(p.id, op.Entity, op.Kind == txn.OpLockX) {
+					res.SafetyWaits++
+					continue
+				}
+			}
+			if _, err := sys.Step(p.id); err != nil {
+				return res, err
+			}
+		}
+	}
+}
+
+// nextOp returns the operation id would execute next.
+func nextOp(sys *core.System, id txn.ID, prog *txn.Program) (txn.Op, bool) {
+	pc := sys.PC(id)
+	if pc < 0 || pc >= len(prog.Ops) {
+		return txn.Op{}, false
+	}
+	return prog.Ops[pc], true
+}
+
+// SortLockOrder rewrites a generated workload so every transaction
+// acquires its locks in the global entity order — the tree/hierarchical
+// protocol baseline. Only programs produced by sim.Generate (lock,
+// read, pad, write groups) are supported; the transform rebuilds each
+// program from its analysis.
+func SortLockOrder(w sim.Workload) sim.Workload {
+	progs := make([]*txn.Program, 0, len(w.Programs))
+	for _, p := range w.Programs {
+		progs = append(progs, sortProgramLocks(p))
+	}
+	return sim.Workload{Name: w.Name + "+sorted", NewStore: w.NewStore, Programs: progs}
+}
+
+// sortProgramLocks rebuilds p acquiring entities in sorted order,
+// moving every write after the last lock (a DeclareLastLock three-phase
+// form, which both sorts locks and clusters writes).
+func sortProgramLocks(p *txn.Program) *txn.Program {
+	a := txn.Analyze(p)
+	reqs := append([]txn.LockRequest(nil), a.Requests...)
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Entity < reqs[j].Entity })
+	b := txn.NewProgram(p.Name + "-sorted")
+	localNames := make([]string, 0, len(p.Locals))
+	for name := range p.Locals {
+		localNames = append(localNames, name)
+	}
+	sort.Strings(localNames)
+	for _, name := range localNames {
+		b.Local(name, p.Locals[name])
+	}
+	for _, r := range reqs {
+		if r.Exclusive {
+			b.LockX(r.Entity)
+		} else {
+			b.LockS(r.Entity)
+		}
+	}
+	b.DeclareLastLock()
+	// Replay the original non-lock operations in order; every entity is
+	// now locked up front, so reads/writes/computes are legal as-is.
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case txn.OpRead:
+			b.Read(op.Entity, op.Local)
+		case txn.OpWrite:
+			b.Write(op.Entity, op.Expr)
+		case txn.OpCompute:
+			b.Compute(op.Local, op.Expr)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+func stepToCommit(t *testing.T, s *System, id txn.ID) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		res, err := s.Step(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Outcome {
+		case Committed:
+			return
+		case Progressed:
+		default:
+			t.Fatalf("%v: unexpected outcome %v", id, res.Outcome)
+		}
+	}
+	t.Fatalf("%v did not commit", id)
+}
+
+func TestSingleTransactionLifecycle(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 10, "b": 20})
+	s := New(Config{Store: store, Strategy: MCS, RecordHistory: true})
+	p := txn.NewProgram("T").
+		Local("x", 0).Local("y", 1).
+		LockX("a").
+		Read("a", "x").
+		Compute("y", value.Add(value.L("x"), value.C(5))).
+		Write("a", value.L("y")).
+		LockS("b").
+		Read("b", "x").
+		Unlock("b").
+		MustBuild()
+	id := s.MustRegister(p)
+	stepToCommit(t, s, id)
+	if got := store.MustGet("a"); got != 15 {
+		t.Errorf("a = %d, want 15", got)
+	}
+	if got := store.MustGet("b"); got != 20 {
+		t.Errorf("b = %d", got)
+	}
+	st, _ := s.Status(id)
+	if st != StatusCommitted {
+		t.Error("status")
+	}
+	if _, err := s.Recorder().CheckSerializable(); err != nil {
+		t.Error(err)
+	}
+	// Stepping a committed transaction is a no-op.
+	res, err := s.Step(id)
+	if err != nil || res.Outcome != AlreadyCommitted {
+		t.Errorf("step after commit: %v %v", res.Outcome, err)
+	}
+}
+
+func TestUnlockInstallsValueEarly(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 1})
+	s := New(Config{Store: store, Strategy: Total})
+	p := txn.NewProgram("T").
+		Local("x", 0).
+		LockX("a").
+		Read("a", "x").
+		Write("a", value.Add(value.L("x"), value.C(41))).
+		Unlock("a").
+		Compute("x", value.C(0)).
+		MustBuild()
+	id := s.MustRegister(p)
+	// Step through the unlock (4 ops) but not commit.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.MustGet("a"); got != 42 {
+		t.Errorf("a = %d after unlock, want 42 (installed before commit)", got)
+	}
+	stepToCommit(t, s, id)
+}
+
+func TestRegisterRejectsInvalidAndUnknownEntities(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store})
+	bad := &txn.Program{Name: "bad", Locals: map[string]int64{}, Ops: []txn.Op{
+		{Kind: txn.OpRead, Entity: "a", Local: "x"},
+		{Kind: txn.OpCommit},
+	}}
+	if _, err := s.Register(bad); err == nil {
+		t.Error("invalid program accepted")
+	}
+	ghost := txn.NewProgram("ghost").Local("x", 0).LockX("zz").MustBuild()
+	if _, err := s.Register(ghost); err == nil || !strings.Contains(err.Error(), "undefined entity") {
+		t.Errorf("want undefined-entity error, got %v", err)
+	}
+	if _, err := s.Step(999); err == nil {
+		t.Error("step of unknown txn")
+	}
+}
+
+func TestSharedReadersProceedTogether(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 7})
+	s := New(Config{Store: store, Strategy: SDG})
+	mk := func(name string) txn.ID {
+		return s.MustRegister(txn.NewProgram(name).
+			Local("x", 0).LockS("a").Read("a", "x").MustBuild())
+	}
+	r1, r2 := mk("R1"), mk("R2")
+	for _, id := range []txn.ID{r1, r2} {
+		res, err := s.Step(id)
+		if err != nil || res.Outcome != Progressed {
+			t.Fatalf("shared lock should grant: %v %v", res.Outcome, err)
+		}
+	}
+	stepToCommit(t, s, r1)
+	stepToCommit(t, s, r2)
+}
+
+func TestDeclareLastLockStopsMonitoring(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0, "b": 0})
+	s := New(Config{Store: store, Strategy: SDG})
+	p := txn.NewProgram("T").
+		Local("x", 0).
+		LockX("a").
+		LockX("b").
+		DeclareLastLock().
+		Write("a", value.C(1)).
+		Write("b", value.C(2)).
+		Write("a", value.C(3)).
+		MustBuild()
+	id := s.MustRegister(p)
+	for i := 0; i < 6; i++ { // through the writes
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := s.WellDefinedStates(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-declaration writes are untracked: all states stay
+	// well-defined despite a@{2?,...} scattering.
+	if len(wd) != 3 {
+		t.Errorf("well-defined = %v, want all of 0,1,2", wd)
+	}
+	stepToCommit(t, s, id)
+}
+
+func TestForceRollbackGuards(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0, "b": 0})
+
+	// Total: only state 0.
+	s := New(Config{Store: store, Strategy: Total})
+	p := txn.NewProgram("T").Local("x", 0).LockX("a").LockX("b").MustBuild()
+	id := s.MustRegister(p)
+	if _, err := s.Step(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ForceRollback(id, 1); err == nil {
+		t.Error("total strategy must reject q=1")
+	}
+	if err := s.ForceRollback(id, 0); err != nil {
+		t.Error(err)
+	}
+	if got := s.LockIndex(id); got != 0 {
+		t.Errorf("lock index = %d", got)
+	}
+	if held := s.Held(id); len(held) != 0 {
+		t.Errorf("held = %v", held)
+	}
+
+	// SDG: must reject non-well-defined targets.
+	s2 := New(Config{Store: store, Strategy: SDG})
+	p2 := txn.NewProgram("T2").Local("x", 0).
+		LockX("a").Write("a", value.C(1)).
+		LockX("b").Write("a", value.C(2)). // destroys state 1
+		MustBuild()
+	id2 := s2.MustRegister(p2)
+	for i := 0; i < 4; i++ {
+		if _, err := s2.Step(id2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.ForceRollback(id2, 1); err == nil {
+		t.Error("state 1 is not well-defined; rollback must fail")
+	}
+	if err := s2.ForceRollback(id2, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRollbackAfterUnlockForbidden(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store, Strategy: MCS})
+	p := txn.NewProgram("T").Local("x", 0).
+		LockX("a").Unlock("a").Compute("x", value.C(1)).MustBuild()
+	id := s.MustRegister(p)
+	for i := 0; i < 2; i++ { // through unlock
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ForceRollback(id, 0); err == nil {
+		t.Error("rollback after unlocking must be rejected (paper assumption)")
+	}
+}
+
+func TestWaitingVictimResumesCorrectly(t *testing.T) {
+	// T2 is rolled back while *waiting*; its queued request must be
+	// retracted and it must re-execute from the reset point.
+	store := entity.NewStore(map[string]int64{"a": 5, "b": 6})
+	s := New(Config{Store: store, Strategy: MCS})
+	t1 := s.MustRegister(txn.NewProgram("T1").Local("x", 0).
+		LockX("a").Read("a", "x").LockX("b").Read("b", "x").MustBuild())
+	t2 := s.MustRegister(txn.NewProgram("T2").Local("x", 0).
+		LockX("b").Read("b", "x").LockX("a").Read("a", "x").MustBuild())
+	mustStep := func(id txn.ID, want Outcome) {
+		t.Helper()
+		res, err := s.Step(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != want {
+			t.Fatalf("%v: outcome %v, want %v", id, res.Outcome, want)
+		}
+	}
+	mustStep(t1, Progressed) // lock a
+	mustStep(t2, Progressed) // lock b
+	mustStep(t1, Progressed) // read a
+	mustStep(t2, Progressed) // read b
+	mustStep(t1, Blocked)    // wait b
+	// T2 requests a -> deadlock; with ordered policy T2 (younger
+	// requester, no younger participants) backs off.
+	res, err := s.Step(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != BlockedDeadlock {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if res.Deadlock.Victims[0].Txn != t2 {
+		t.Fatalf("victim %v", res.Deadlock.Victims)
+	}
+	st, _ := s.Status(t2)
+	if st != StatusRunning {
+		t.Fatalf("victim status %v", st)
+	}
+	if _, waiting := s.WaitingOn(t2); waiting {
+		t.Error("victim still queued")
+	}
+	// T1 must have been granted b by the rollback release.
+	st1, _ := s.Status(t1)
+	if st1 != StatusRunning {
+		t.Error("T1 should be granted")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	stepToCommit(t, s, t1)
+	stepToCommit(t, s, t2)
+	if store.MustGet("a") != 5 || store.MustGet("b") != 6 {
+		t.Error("read-only programs must not change values")
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	var kinds []EventKind
+	s := New(Config{Store: store, OnEvent: func(e Event) {
+		kinds = append(kinds, e.Kind)
+		_ = e.String() // must not panic
+	}})
+	id := s.MustRegister(txn.NewProgram("T").Local("x", 0).
+		LockX("a").Unlock("a").MustBuild())
+	stepToCommit(t, s, id)
+	want := []EventKind{EventRegister, EventGrant, EventUnlock, EventCommit}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 100, "b": 200})
+	s := New(Config{Store: store, Strategy: MCS})
+	t1 := s.MustRegister(transferProg("T1", "a", "b", 10))
+	t2 := s.MustRegister(transferProg("T2", "b", "a", 5))
+	_ = t1
+	_ = t2
+	runAll(t, s)
+	st := s.Stats()
+	if st.Commits != 2 || st.Deadlocks == 0 || st.Rollbacks == 0 || st.OpsLost == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	ts := s.TxnStatsOf(t2)
+	if ts.OpsExecuted == 0 {
+		t.Error("txn stats empty")
+	}
+}
+
+func TestStringerCoverage(t *testing.T) {
+	for _, s := range []interface{ String() string }{
+		Total, MCS, SDG, Strategy(99),
+		NoPrevention, WoundWait, WaitDie,
+		StatusRunning, StatusWaiting, StatusCommitted, Status(99),
+		Progressed, Blocked, BlockedDeadlock, StillWaiting, Committed,
+		AlreadyCommitted, SelfRolledBack, Outcome(99),
+		EventRegister, EventGrant, EventWait, EventDeadlock,
+		EventRollback, EventUnlock, EventCommit, EventKind(99),
+	} {
+		if s.String() == "" {
+			t.Errorf("%T has empty String()", s)
+		}
+	}
+}

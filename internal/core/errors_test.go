@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+func TestAccessorErrorPaths(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store, Strategy: Total})
+	id := s.MustRegister(txn.NewProgram("T").Local("x", 0).LockX("a").MustBuild())
+
+	if _, err := s.WellDefinedStates(id); err == nil {
+		t.Error("WellDefinedStates under Total must error")
+	}
+	if _, _, err := s.MCSPeakSpace(id); err == nil {
+		t.Error("MCSPeakSpace under Total must error")
+	}
+	if _, _, err := s.HybridStats(id); err == nil {
+		t.Error("HybridStats under Total must error")
+	}
+	if _, err := s.Status(999); err == nil {
+		t.Error("Status of unknown txn")
+	}
+	if _, err := s.Locals(999); err == nil {
+		t.Error("Locals of unknown txn")
+	}
+	if s.PC(999) != -1 {
+		t.Error("PC of unknown txn")
+	}
+	if s.ProgramName(999) != "" || s.StateIndex(999) != 0 || s.LockIndex(999) != 0 || s.EntryOf(999) != 0 {
+		t.Error("zero values for unknown txn")
+	}
+	if _, ok := s.LocalCopy(999, "a"); ok {
+		t.Error("LocalCopy of unknown txn")
+	}
+	if err := s.ForceRollback(999, 0); err == nil {
+		t.Error("ForceRollback of unknown txn")
+	}
+	if err := s.ForceRollback(id, 0); err == nil {
+		t.Error("rollback with no lock states must error")
+	}
+}
+
+func TestForceRollbackOutOfRange(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store, Strategy: MCS})
+	id := s.MustRegister(txn.NewProgram("T").Local("x", 0).LockX("a").MustBuild())
+	if _, err := s.Step(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{-1, 1, 5} {
+		if err := s.ForceRollback(id, q); err == nil {
+			t.Errorf("ForceRollback(%d) accepted", q)
+		}
+	}
+}
+
+func TestRollbackOfCommittedRejected(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store, Strategy: MCS})
+	id := s.MustRegister(txn.NewProgram("T").Local("x", 0).LockX("a").MustBuild())
+	stepToCommit(t, s, id)
+	if err := s.ForceRollback(id, 0); err == nil ||
+		!strings.Contains(err.Error(), "committed") {
+		t.Errorf("rollback of committed: %v", err)
+	}
+}
+
+func TestDivideByZeroSurfacesAsStepError(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store, Strategy: SDG})
+	id := s.MustRegister(txn.NewProgram("T").Local("x", 0).
+		LockX("a").
+		Compute("x", value.Div(value.C(1), value.L("x"))). // 1/0
+		MustBuild())
+	if _, err := s.Step(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(id); err == nil {
+		t.Error("runtime expression error must surface from Step")
+	}
+}
+
+func TestNewPanicsWithoutStore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without Store must panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestRegisterAfterOthersCommitted(t *testing.T) {
+	// Open-system usage: registering fresh transactions after earlier
+	// ones committed keeps entry order monotone.
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store, Strategy: MCS})
+	id1 := s.MustRegister(txn.NewProgram("T1").Local("x", 0).LockX("a").MustBuild())
+	stepToCommit(t, s, id1)
+	id2 := s.MustRegister(txn.NewProgram("T2").Local("x", 0).LockX("a").MustBuild())
+	if s.EntryOf(id2) <= s.EntryOf(id1) {
+		t.Error("entry order must be monotone")
+	}
+	stepToCommit(t, s, id2)
+	if !s.AllCommitted() {
+		t.Error("all committed")
+	}
+}

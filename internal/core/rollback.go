@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/lock"
+	"partialrollback/internal/sdg"
+	"partialrollback/internal/txn"
+)
+
+// releaseAndRefresh releases t's lock on entityName, rebuilds the
+// wait-for arcs of the entity's remaining waiters against the new
+// holder set, and applies any promoted grants.
+func (s *System) releaseAndRefresh(t *tstate, entityName string) error {
+	grants, err := s.locks.Release(t.id, entityName)
+	if err != nil {
+		return err
+	}
+	s.refreshWaiters(entityName)
+	s.applyGrants(grants)
+	return nil
+}
+
+// refreshWaiters rebuilds the wait-for arcs of every transaction still
+// queued on entityName so they point at the current conflicting
+// holders.
+func (s *System) refreshWaiters(entityName string) {
+	holders := s.locks.Holders(entityName)
+	for _, w := range s.locks.Queue(entityName) {
+		s.wf.ClearEntityWaits(w.Txn, entityName)
+		for _, h := range holders {
+			if h == w.Txn {
+				continue
+			}
+			hm, _ := s.locks.ModeOf(h, entityName)
+			if w.Mode == lock.Exclusive || hm == lock.Exclusive {
+				s.wf.AddWait(w.Txn, h, entityName)
+			}
+		}
+	}
+}
+
+// contestedEntities maps each deadlock participant to the entities it
+// holds that some cycle predecessor is waiting for — the entities whose
+// release by that participant helps break a cycle.
+func (s *System) contestedEntities(cycles [][]txn.ID) map[txn.ID]map[string]bool {
+	out := map[txn.ID]map[string]bool{}
+	for _, c := range cycles {
+		for i := range c {
+			waiter := c[i]
+			holder := c[(i+1)%len(c)]
+			for _, e := range s.wf.Label(waiter, holder) {
+				if out[holder] == nil {
+					out[holder] = map[string]bool{}
+				}
+				out[holder][e] = true
+			}
+		}
+	}
+	return out
+}
+
+// planRollback computes the §3.1 rollback plan for one deadlock
+// participant: the latest lock state at which it holds none of its
+// contested entities, adjusted to the latest well-defined state under
+// the single-copy strategy or to the initial state under total
+// restart, and the state-index cost of rolling back there.
+func (s *System) planRollback(t *tstate, contested map[string]bool) (deadlock.Victim, bool) {
+	if t.unlocked || t.declaredLast || t.status == StatusCommitted || len(contested) == 0 {
+		return deadlock.Victim{}, false
+	}
+	target := t.lockIndex
+	for e := range contested {
+		li, held := t.heldAt[e]
+		if !held {
+			continue
+		}
+		if li < target {
+			target = li
+		}
+	}
+	if target == t.lockIndex {
+		return deadlock.Victim{}, false // holds none of the contested entities
+	}
+	switch s.cfg.Strategy {
+	case Total:
+		target = 0
+	case SDG:
+		target = t.sdg.LatestWellDefinedAtOrBelow(target)
+	case Hybrid:
+		target = t.hyb.LatestRestorableAtOrBelow(target)
+	}
+	if target >= len(t.lockStates) {
+		return deadlock.Victim{}, false
+	}
+	return deadlock.Victim{
+		Txn:    t.id,
+		Target: target,
+		Cost:   t.stateIndex - t.lockStates[target].stateIndex,
+	}, true
+}
+
+// resolveDeadlock handles §2 rule 3: the wait of requester on
+// entityName closed the given cycles; pick victims per the configured
+// policy and roll each back.
+func (s *System) resolveDeadlock(requester *tstate, entityName string, cycles [][]txn.ID) (*DeadlockReport, error) {
+	s.stats.Deadlocks++
+	contested := s.contestedEntities(cycles)
+	info := deadlock.Info{
+		Requester: requester.id,
+		Cycles:    cycles,
+		Plan: func(id txn.ID) (deadlock.Victim, bool) {
+			t, ok := s.txns[id]
+			if !ok {
+				return deadlock.Victim{}, false
+			}
+			return s.planRollback(t, contested[id])
+		},
+		Entry: func(id txn.ID) int64 {
+			if t, ok := s.txns[id]; ok {
+				return t.entry
+			}
+			return 0
+		},
+		Preemptions: func(id txn.ID) int64 {
+			if t, ok := s.txns[id]; ok {
+				return t.stats.Rollbacks
+			}
+			return 0
+		},
+	}
+	report := &DeadlockReport{
+		Requester:  requester.id,
+		Entity:     entityName,
+		Cycles:     cycles,
+		Candidates: map[txn.ID]deadlock.Victim{},
+	}
+	for _, id := range info.Participants() {
+		if v, ok := info.Plan(id); ok {
+			report.Candidates[id] = v
+		}
+	}
+	victims, err := s.policy.Choose(info)
+	if err != nil {
+		return nil, fmt.Errorf("core: deadlock policy %q: %w", s.policy.Name(), err)
+	}
+	report.Victims = victims
+	s.stats.Victims += int64(len(victims))
+	s.emit(Event{Kind: EventDeadlock, Txn: requester.id, Entity: entityName, Deadlock: report})
+	for _, v := range victims {
+		t, ok := s.txns[v.Txn]
+		if !ok {
+			return nil, fmt.Errorf("core: policy chose unknown victim %v", v.Txn)
+		}
+		if err := s.rollbackTo(t, v.Target); err != nil {
+			return nil, err
+		}
+	}
+	// The victims' releases must have broken every cycle; if the
+	// requester still waits it must now wait safely.
+	if requester.status == StatusWaiting {
+		if left := s.wf.CyclesThrough(requester.id, 1); len(left) > 0 {
+			return report, fmt.Errorf("core: policy %q left a cycle unbroken: %v", s.policy.Name(), left[0])
+		}
+	}
+	if err := s.escalateStarvation(cycles); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// escalateStarvation ages the waits of deadlock participants: a
+// participant still waiting after StarvationLimit resolutions of
+// deadlocks it was part of gets wound-wait treatment — every
+// strictly-younger holder of its awaited entity is partially rolled
+// back to release it. Minimal cycle-breaking alone can otherwise starve
+// an old waiter indefinitely: each resolution frees only one of several
+// holds (e.g. one of two shared locks) and the ring re-forms.
+func (s *System) escalateStarvation(cycles [][]txn.ID) error {
+	if s.cfg.StarvationLimit < 0 {
+		return nil
+	}
+	seen := map[txn.ID]bool{}
+	var starved []*tstate
+	for _, c := range cycles {
+		for _, id := range c {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			t, ok := s.txns[id]
+			if !ok || t.status != StatusWaiting {
+				continue
+			}
+			t.starveRounds++
+			if t.starveRounds >= s.cfg.StarvationLimit {
+				starved = append(starved, t)
+			}
+		}
+	}
+	sort.Slice(starved, func(i, j int) bool { return starved[i].entry < starved[j].entry })
+	for _, t := range starved {
+		if t.status != StatusWaiting {
+			continue // an earlier escalation unblocked it
+		}
+		entityName := t.waitEntity
+		for _, h := range s.locks.Holders(entityName) {
+			holder, ok := s.txns[h]
+			if !ok || holder.entry <= t.entry {
+				continue // only younger holders are wounded
+			}
+			plan, ok := s.planRollback(holder, map[string]bool{entityName: true})
+			if !ok {
+				continue
+			}
+			if err := s.rollbackTo(holder, plan.Target); err != nil {
+				return err
+			}
+			s.stats.Escalations++
+		}
+		t.starveRounds = 0
+	}
+	return nil
+}
+
+// restoreSingleCopy applies the SDG restore rules: targets first
+// written at or before q keep their single copy (well-definedness
+// guarantees no later writes survive); others reset to pristine values
+// (global value for entities, initial value for locals).
+func (s *System) restoreSingleCopy(t *tstate, q int) error {
+	for e := range t.heldAt {
+		if t.modes[e] != lock.Exclusive {
+			continue
+		}
+		if t.sdg.RestoreActionFor("e:"+e, q) == sdg.ResetPristine {
+			t.copies[e] = s.store.MustGet(e)
+		}
+	}
+	for l := range t.locals {
+		if t.sdg.RestoreActionFor("l:"+l, q) == sdg.ResetPristine {
+			t.locals[l] = t.prog.Locals[l]
+		}
+	}
+	return nil
+}
+
+// rollbackTo rolls t back to lock state q (§2's rollback operation):
+// retract its pending request if waiting, release every lock acquired
+// at lock index >= q, restore local variables and local copies per the
+// configured strategy, and reset the program counter and state index.
+func (s *System) rollbackTo(t *tstate, q int) error {
+	if t.status == StatusCommitted {
+		return fmt.Errorf("core: rollback of committed %v", t.id)
+	}
+	if t.unlocked {
+		return fmt.Errorf("core: rollback of %v after it began unlocking", t.id)
+	}
+	if q < 0 || q >= len(t.lockStates) {
+		return fmt.Errorf("core: rollback of %v to lock state %d outside [0, %d)", t.id, q, len(t.lockStates))
+	}
+	rec := t.lockStates[q]
+	fromState := t.stateIndex
+
+	// Retract a pending lock request.
+	if t.status == StatusWaiting {
+		grants, _ := s.locks.RemoveWaiter(t.id, t.waitEntity)
+		s.wf.RemoveAllWaitsBy(t.id)
+		waited := t.waitEntity
+		t.status = StatusRunning
+		t.waitEntity = ""
+		s.refreshWaiters(waited)
+		s.applyGrants(grants)
+	}
+
+	// Release locks acquired at or after lock state q. Global values
+	// were never modified (updates are deferred to unlock/commit), so
+	// releasing restores them per the paper's rollback step 1-2.
+	var released []string
+	for e, li := range t.heldAt {
+		if li >= q {
+			released = append(released, e)
+		}
+	}
+	sort.Strings(released)
+	for _, e := range released {
+		if s.recorder != nil {
+			s.recorder.OnRetract(t.id, e)
+		}
+		delete(t.copies, e)
+		delete(t.heldAt, e)
+		delete(t.modes, e)
+		if err := s.releaseAndRefresh(t, e); err != nil {
+			return err
+		}
+	}
+
+	// Restore local variables and surviving local copies (steps 3-4).
+	switch s.cfg.Strategy {
+	case Total:
+		if q != 0 {
+			return fmt.Errorf("core: total strategy rollback target %d != 0", q)
+		}
+		for k, v := range t.prog.Locals {
+			t.locals[k] = v
+		}
+	case MCS:
+		if t.mcs.LockIndex() != t.lockIndex {
+			return fmt.Errorf("core: %v MCS lock index out of sync (%d != %d)", t.id, t.mcs.LockIndex(), t.lockIndex)
+		}
+		t.mcs.Rollback(q)
+		for k, v := range t.mcs.Locals() {
+			t.locals[k] = v
+		}
+		for e := range t.heldAt {
+			if t.modes[e] == lock.Exclusive {
+				v, ok := t.mcs.EntityValue(e)
+				if !ok {
+					return fmt.Errorf("core: %v MCS lost copy of %q", t.id, e)
+				}
+				t.copies[e] = v
+			}
+		}
+	case SDG:
+		if err := s.restoreSingleCopy(t, q); err != nil {
+			return err
+		}
+		if err := t.sdg.Rollback(q); err != nil {
+			return fmt.Errorf("core: %v: %w", t.id, err)
+		}
+	case Hybrid:
+		if cp, ok := t.hyb.Checkpoint(q); ok {
+			for l := range t.locals {
+				if v, ok := cp.Locals[l]; ok {
+					t.locals[l] = v
+				} else {
+					t.locals[l] = t.prog.Locals[l]
+				}
+			}
+			for e := range t.heldAt {
+				if t.modes[e] != lock.Exclusive {
+					continue
+				}
+				v, ok := cp.Copies[e]
+				if !ok {
+					return fmt.Errorf("core: %v checkpoint %d lacks copy of %q", t.id, q, e)
+				}
+				t.copies[e] = v
+			}
+		} else if err := s.restoreSingleCopy(t, q); err != nil {
+			return err
+		}
+		if err := t.hyb.Rollback(q); err != nil {
+			return fmt.Errorf("core: %v: %w", t.id, err)
+		}
+	}
+
+	// Reset program counter and counters (step 5).
+	lost := fromState - rec.stateIndex
+	t.pc = rec.opIndex
+	t.stateIndex = rec.stateIndex
+	t.lockStates = t.lockStates[:q]
+	t.lockIndex = q
+	t.starveRounds = 0
+	t.stats.Rollbacks++
+	t.stats.OpsLost += lost
+	s.stats.Rollbacks++
+	s.stats.OpsLost += lost
+	if q == 0 {
+		t.stats.Restarts++
+		s.stats.Restarts++
+	}
+	s.emit(Event{
+		Kind: EventRollback, Txn: t.id,
+		FromState: fromState, ToState: rec.stateIndex,
+		Lost: lost, ToLockState: q,
+	})
+	return nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// TestSharedGrantRefreshesWaiterArcs is the regression test for the
+// arc-staleness bug: when a shared grant jumps past a queued exclusive
+// waiter, the waiter's concurrency-graph arcs must be extended to the
+// new holder, or later cycle detection misses deadlocks.
+func TestSharedGrantRefreshesWaiterArcs(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0, "b": 0})
+	s := New(Config{Store: store, Strategy: MCS})
+	s1 := s.MustRegister(txn.NewProgram("S1").Local("x", 0).
+		LockS("a").Read("a", "x").Compute("x", value.C(1)).Compute("x", value.C(2)).MustBuild())
+	xw := s.MustRegister(txn.NewProgram("XW").Local("x", 0).
+		LockX("a").MustBuild())
+	s2 := s.MustRegister(txn.NewProgram("S2").Local("x", 0).
+		LockS("a").Read("a", "x").MustBuild())
+
+	mustOutcome := func(id txn.ID, want Outcome) {
+		t.Helper()
+		res, err := s.Step(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != want {
+			t.Fatalf("%v: outcome %v, want %v", id, res.Outcome, want)
+		}
+	}
+	mustOutcome(s1, Progressed) // S1 holds a (shared)
+	mustOutcome(xw, Blocked)    // XW queues behind the shared hold
+	mustOutcome(s2, Progressed) // S2's shared grant jumps the queue
+	// XW must now wait on BOTH shared holders.
+	arcs := s.Arcs()
+	holders := map[txn.ID]bool{}
+	for _, a := range arcs {
+		if a.Waiter == xw {
+			holders[a.Holder] = true
+		}
+	}
+	if !holders[s1] || !holders[s2] {
+		t.Fatalf("XW's arcs = %v; must include both shared holders", arcs)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain everyone; XW gets a once both readers finish.
+	runAll(t, s)
+}
+
+// TestMultiCycleSharedDeadlockResolved reproduces the Figure 3(c) shape
+// inside a full closed run: an exclusive request on a doubly-shared
+// entity closes two cycles; the engine must clear both and finish.
+func TestMultiCycleSharedDeadlockResolved(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0, "b": 0, "f": 0})
+	s := New(Config{Store: store, Strategy: SDG, RecordHistory: true})
+	t1 := s.MustRegister(txn.NewProgram("T1").Local("x", 0).
+		LockX("a").LockX("b").LockX("f").Read("f", "x").MustBuild())
+	t2 := s.MustRegister(txn.NewProgram("T2").Local("x", 0).
+		LockS("f").Read("f", "x").LockS("a").MustBuild())
+	t3 := s.MustRegister(txn.NewProgram("T3").Local("x", 0).
+		LockS("f").Read("f", "x").LockS("b").MustBuild())
+	_ = t1
+	_ = t2
+	_ = t3
+	runAll(t, s)
+	if s.Stats().Deadlocks == 0 {
+		t.Error("expected a multi-cycle deadlock")
+	}
+	if _, err := s.Recorder().CheckSerializable(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedReadersSeeStableValue: a shared holder's reads are
+// unaffected by a writer queued behind it.
+func TestSharedReadersSeeStableValue(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 7})
+	s := New(Config{Store: store, Strategy: Total})
+	reader := s.MustRegister(txn.NewProgram("R").Local("x", 0).Local("y", 0).
+		LockS("a").Read("a", "x").Compute("y", value.C(0)).Read("a", "y").MustBuild())
+	writer := s.MustRegister(txn.NewProgram("W").Local("v", 0).
+		LockX("a").Write("a", value.C(99)).MustBuild())
+	if _, err := s.Step(reader); err != nil { // S lock
+		t.Fatal(err)
+	}
+	if res, _ := s.Step(writer); res.Outcome != Blocked {
+		t.Fatal("writer should queue")
+	}
+	stepToCommit(t, s, reader)
+	locals, _ := s.Locals(reader)
+	if locals["x"] != 7 || locals["y"] != 7 {
+		t.Errorf("reader saw %v; the global value must be stable while shared-held", locals)
+	}
+	stepToCommit(t, s, writer)
+	if store.MustGet("a") != 99 {
+		t.Error("writer's value not installed")
+	}
+}
+
+// TestVictimWithSharedLockReleased: rolling back a victim that holds
+// the contested entity under a *shared* lock must release that shared
+// hold (Figure 3(c)'s both-shared-holders case, unit level).
+func TestVictimWithSharedLockReleased(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 0, "f": 0})
+	s := New(Config{Store: store, Strategy: MCS})
+	t1 := s.MustRegister(txn.NewProgram("T1").Local("x", 0).
+		LockX("a").LockX("f").MustBuild())
+	t2 := s.MustRegister(txn.NewProgram("T2").Local("x", 0).
+		LockS("f").LockS("a").MustBuild())
+	mustStep := func(id txn.ID) StepResult {
+		t.Helper()
+		res, err := s.Step(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mustStep(t1)                                     // X a
+	mustStep(t2)                                     // S f
+	if res := mustStep(t2); res.Outcome != Blocked { // S a vs X holder
+		t.Fatalf("T2 should wait, got %v", res.Outcome)
+	}
+	res := mustStep(t1) // X f vs S holder -> cycle
+	if res.Outcome != BlockedDeadlock {
+		t.Fatalf("expected deadlock, got %v", res.Outcome)
+	}
+	// The ordered policy victimizes T2 (younger); its shared f must be
+	// gone and T1 must hold f now.
+	if got := s.Held(t2); len(got) != 0 {
+		t.Errorf("victim still holds %v", got)
+	}
+	if !s.HoldsExclusive(t1, "f") {
+		t.Error("requester should have been granted f")
+	}
+	runAll(t, s)
+}

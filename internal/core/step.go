@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"partialrollback/internal/history"
+	"partialrollback/internal/lock"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// Step executes the next atomic operation of transaction id. Waiting
+// and committed transactions are reported as such without effect.
+func (s *System) Step(id txn.ID) (StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.get(id)
+	if err != nil {
+		return StepResult{}, err
+	}
+	switch t.status {
+	case StatusCommitted:
+		return StepResult{Outcome: AlreadyCommitted}, nil
+	case StatusWaiting:
+		return StepResult{Outcome: StillWaiting}, nil
+	}
+	s.stats.Steps++
+	op := t.prog.Ops[t.pc]
+	switch op.Kind {
+	case txn.OpLockS, txn.OpLockX:
+		return s.stepLock(t, op)
+	case txn.OpRead:
+		v, err := s.readEntity(t, op.Entity)
+		if err != nil {
+			return StepResult{}, err
+		}
+		if err := s.assignLocal(t, op.Local, v); err != nil {
+			return StepResult{}, err
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, nil
+	case txn.OpWrite:
+		v, err := op.Expr.Eval(value.MapEnv(t.locals))
+		if err != nil {
+			return StepResult{}, fmt.Errorf("core: %v op %d: %w", t.id, t.pc, err)
+		}
+		if err := s.writeEntity(t, op.Entity, v); err != nil {
+			return StepResult{}, err
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, nil
+	case txn.OpCompute:
+		v, err := op.Expr.Eval(value.MapEnv(t.locals))
+		if err != nil {
+			return StepResult{}, fmt.Errorf("core: %v op %d: %w", t.id, t.pc, err)
+		}
+		if err := s.assignLocal(t, op.Local, v); err != nil {
+			return StepResult{}, err
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, nil
+	case txn.OpUnlock:
+		if err := s.unlockEntity(t, op.Entity); err != nil {
+			return StepResult{}, err
+		}
+		t.unlocked = true
+		s.advance(t)
+		s.emit(Event{Kind: EventUnlock, Txn: t.id, Entity: op.Entity})
+		return StepResult{Outcome: Progressed}, nil
+	case txn.OpDeclareLastLock:
+		t.declaredLast = true
+		if t.sdg != nil {
+			t.sdg.StopMonitoring()
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, nil
+	case txn.OpCommit:
+		if err := s.commit(t); err != nil {
+			return StepResult{}, err
+		}
+		return StepResult{Outcome: Committed}, nil
+	default:
+		return StepResult{}, fmt.Errorf("core: %v op %d: unknown kind %v", t.id, t.pc, op.Kind)
+	}
+}
+
+// advance counts one executed atomic operation.
+func (s *System) advance(t *tstate) {
+	t.pc++
+	t.stateIndex++
+	t.stats.OpsExecuted++
+}
+
+// stepLock handles a lock-request operation for a running transaction.
+func (s *System) stepLock(t *tstate, op txn.Op) (StepResult, error) {
+	mode := lock.Shared
+	if op.Kind == txn.OpLockX {
+		mode = lock.Exclusive
+	}
+	// Record the lock state immediately preceding this request, unless
+	// it is already recorded (cannot happen for a running transaction:
+	// a retried request only re-executes after rollback truncated the
+	// record).
+	if len(t.lockStates) != t.lockIndex {
+		return StepResult{}, fmt.Errorf("core: %v lock-state records out of sync (%d != %d)",
+			t.id, len(t.lockStates), t.lockIndex)
+	}
+	t.lockStates = append(t.lockStates, lockStateRec{opIndex: t.pc, stateIndex: t.stateIndex})
+	if t.hyb != nil && t.hyb.Planned(t.lockIndex) {
+		// The state immediately preceding this request is a planned
+		// checkpoint: snapshot locals and entity copies now, before the
+		// request can be granted.
+		t.hyb.TakeCheckpoint(t.lockIndex, t.locals, t.copies)
+	}
+
+	granted, blockers, err := s.locks.Acquire(t.id, op.Entity, mode)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if granted {
+		s.finishGrant(t, op.Entity, mode)
+		return StepResult{Outcome: Progressed}, nil
+	}
+
+	// Wait response (§2 rule 2).
+	t.status = StatusWaiting
+	t.waitEntity = op.Entity
+	t.stats.Waits++
+	s.stats.Waits++
+	for _, b := range blockers {
+		s.wf.AddWait(t.id, b, op.Entity)
+	}
+	s.emit(Event{Kind: EventWait, Txn: t.id, Entity: op.Entity})
+
+	if s.cfg.Prevention != NoPrevention {
+		res, err := s.preventConflict(t, op.Entity, blockers)
+		if err != nil || t.status != StatusWaiting {
+			return res, err
+		}
+		// Safety net: shared-lock grants can jump timestamp checks, so
+		// a cycle can still form in rare interleavings; fall through to
+		// detection if one did.
+		if len(s.wf.CyclesThrough(t.id, 1)) == 0 {
+			return res, nil
+		}
+	}
+
+	cycles := s.wf.CyclesThrough(t.id, s.cfg.MaxCycles)
+	if len(cycles) == 0 {
+		return StepResult{Outcome: Blocked}, nil
+	}
+	report, err := s.resolveDeadlock(t, op.Entity, cycles)
+	if err != nil {
+		return StepResult{}, err
+	}
+	return StepResult{Outcome: BlockedDeadlock, Deadlock: report}, nil
+}
+
+// finishGrant completes a granted lock request for t: bookkeeping,
+// local-copy creation for exclusive locks, strategy hooks, and the
+// program-counter advance past the request op. Used both for immediate
+// grants and for promotions of queued waiters.
+func (s *System) finishGrant(t *tstate, entityName string, mode lock.Mode) {
+	t.heldAt[entityName] = t.lockIndex
+	t.modes[entityName] = mode
+	if mode == lock.Exclusive {
+		gv := s.store.MustGet(entityName)
+		t.copies[entityName] = gv
+		if t.mcs != nil {
+			t.mcs.OnLock(entityName, true, gv)
+		}
+	} else if t.mcs != nil {
+		t.mcs.OnLock(entityName, false, 0)
+	}
+	if t.sdg != nil {
+		t.sdg.OnLock()
+	}
+	t.lockIndex++
+	t.starveRounds = 0
+	if t.status == StatusWaiting {
+		t.status = StatusRunning
+		t.waitEntity = ""
+		s.wf.RemoveAllWaitsBy(t.id)
+	}
+	if s.recorder != nil {
+		m := history.Read
+		if mode == lock.Exclusive {
+			m = history.Write
+		}
+		s.recorder.OnGrant(t.id, entityName, m)
+	}
+	s.advance(t)
+	s.stats.Grants++
+	// A shared grant can jump past queued exclusive waiters; those
+	// waiters now wait on this holder too, so their arcs are rebuilt.
+	s.refreshWaiters(entityName)
+	s.emit(Event{Kind: EventGrant, Txn: t.id, Entity: entityName, Detail: mode.String()})
+}
+
+// applyGrants processes lock promotions produced by releases.
+func (s *System) applyGrants(grants []lock.Grant) {
+	for _, g := range grants {
+		t, ok := s.txns[g.Txn]
+		if !ok {
+			continue
+		}
+		s.finishGrant(t, g.Entity, g.Mode)
+	}
+}
+
+// readEntity returns the value t observes for a locked entity: its
+// local copy for exclusive holds, the (stable) global value for shared
+// holds.
+func (s *System) readEntity(t *tstate, entityName string) (int64, error) {
+	mode, held := t.modes[entityName]
+	if !held {
+		return 0, fmt.Errorf("core: %v read of unheld entity %q", t.id, entityName)
+	}
+	if mode == lock.Exclusive {
+		return t.copies[entityName], nil
+	}
+	return s.store.MustGet(entityName), nil
+}
+
+// writeEntity updates t's local copy of an exclusively held entity.
+func (s *System) writeEntity(t *tstate, entityName string, v int64) error {
+	if m, held := t.modes[entityName]; !held || m != lock.Exclusive {
+		return fmt.Errorf("core: %v write to entity %q without exclusive lock", t.id, entityName)
+	}
+	t.copies[entityName] = v
+	if t.mcs != nil {
+		if err := t.mcs.WriteEntity(entityName, v); err != nil {
+			return err
+		}
+	}
+	if t.sdg != nil {
+		t.sdg.OnWrite("e:" + entityName)
+	}
+	return nil
+}
+
+// assignLocal updates a local variable (Read destination or Compute).
+func (s *System) assignLocal(t *tstate, local string, v int64) error {
+	if _, ok := t.locals[local]; !ok {
+		return fmt.Errorf("core: %v assignment to undeclared local %q", t.id, local)
+	}
+	t.locals[local] = v
+	if t.mcs != nil {
+		if err := t.mcs.WriteLocal(local, v); err != nil {
+			return err
+		}
+	}
+	if t.sdg != nil {
+		t.sdg.OnWrite("l:" + local)
+	}
+	return nil
+}
+
+// unlockEntity releases one entity during the shrinking phase,
+// installing the local copy as the new global value for exclusive
+// holds.
+func (s *System) unlockEntity(t *tstate, entityName string) error {
+	mode, held := t.modes[entityName]
+	if !held {
+		return fmt.Errorf("core: %v unlock of unheld entity %q", t.id, entityName)
+	}
+	if mode == lock.Exclusive {
+		if err := s.store.Install(entityName, t.copies[entityName]); err != nil {
+			return err
+		}
+	}
+	if s.recorder != nil {
+		s.recorder.OnRelease(t.id, entityName)
+	}
+	delete(t.copies, entityName)
+	delete(t.heldAt, entityName)
+	delete(t.modes, entityName)
+	if t.mcs != nil {
+		t.mcs.OnUnlock(entityName)
+	}
+	return s.releaseAndRefresh(t, entityName)
+}
+
+// commit terminates t: installs all exclusive local copies, releases
+// every lock, and removes t from the concurrency graph.
+func (s *System) commit(t *tstate) error {
+	for _, entityName := range s.locks.HeldBy(t.id) {
+		if t.modes[entityName] == lock.Exclusive {
+			if err := s.store.Install(entityName, t.copies[entityName]); err != nil {
+				return err
+			}
+		}
+		if s.recorder != nil {
+			s.recorder.OnRelease(t.id, entityName)
+		}
+		if err := s.releaseAndRefresh(t, entityName); err != nil {
+			return err
+		}
+	}
+	t.copies = map[string]int64{}
+	t.heldAt = map[string]int{}
+	t.modes = map[string]lock.Mode{}
+	t.status = StatusCommitted
+	t.pc = len(t.prog.Ops)
+	s.wf.RemoveTxn(t.id)
+	if s.recorder != nil {
+		s.recorder.OnCommit(t.id)
+	}
+	s.stats.Commits++
+	s.emit(Event{Kind: EventCommit, Txn: t.id})
+	return nil
+}

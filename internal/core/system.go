@@ -1,0 +1,330 @@
+// Package core implements the paper's contribution: a two-phase-locking
+// concurrency control whose deadlock response is partial rollback
+// (Fussell, Kedem & Silberschatz, SIGMOD 1981).
+//
+// A System executes registered transaction programs one atomic
+// operation at a time (callers choose the interleaving; see
+// internal/sim for deterministic drivers and internal/runtime for a
+// goroutine-per-transaction driver). Lock requests follow §2's rules:
+// grant when compatible, otherwise wait; when a wait would close a
+// cycle in the concurrency graph, a victim-selection policy picks
+// transactions to roll back and the system rolls each back just far
+// enough to break every cycle — to the lock state preceding its lock on
+// a contested entity (multi-copy strategy), to the latest *well-defined*
+// such state (single-copy strategy), or to its initial state (total
+// restart, the classical baseline the paper generalizes).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/history"
+	"partialrollback/internal/hybrid"
+	"partialrollback/internal/lock"
+	"partialrollback/internal/mcs"
+	"partialrollback/internal/sdg"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/waitfor"
+)
+
+// Strategy selects the rollback implementation (§4).
+type Strategy int
+
+// Rollback strategies.
+const (
+	// Total is the classical total-removal-and-restart baseline: the
+	// victim is rolled back to its initial state. One local copy per
+	// entity; no monitoring.
+	Total Strategy = iota
+	// MCS is the multi-lock copy strategy: value stacks allow rollback
+	// to any lock state, at up to n(n+1)/2 entity copies (Theorem 3).
+	MCS
+	// SDG is the single-copy strategy guided by the state-dependency
+	// graph: rollback only to well-defined lock states, with no more
+	// storage than total restart requires.
+	SDG
+	// Hybrid is the paper's closing extension: SDG plus a bounded
+	// number of checkpoints (extra copies) that make chosen lock states
+	// restorable even when write intervals span them. Budget 0 behaves
+	// exactly like SDG; an unbounded budget approaches MCS.
+	Hybrid
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Total:
+		return "total"
+	case MCS:
+		return "mcs"
+	case SDG:
+		return "sdg"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config configures a System.
+type Config struct {
+	// Store is the global database. Required.
+	Store *entity.Store
+	// Strategy selects the rollback implementation. Default Total.
+	Strategy Strategy
+	// Policy selects deadlock victims. Default deadlock.OrderedMinCost
+	// (the Theorem 2 safe policy).
+	Policy deadlock.Policy
+	// RecordHistory enables the serializability recorder.
+	RecordHistory bool
+	// MaxCycles bounds cycle enumeration per detection. Default 64.
+	MaxCycles int
+	// Prevention replaces detection with a timestamp rule (§3.3
+	// distributed operation). Default NoPrevention.
+	Prevention Prevention
+	// StarvationLimit escalates fairness: when a waiting transaction's
+	// conflict survives this many deadlock resolutions it participated
+	// in, every strictly-younger holder of its awaited entity is
+	// wounded (partially rolled back to release it) — wound-wait applied
+	// on demand. Without it, minimal cycle-breaking can starve an old
+	// waiter forever while younger transactions re-form cycles around it
+	// (found by the randomized soak test). 0 means the default (8);
+	// negative disables escalation.
+	StarvationLimit int
+	// HybridBudget is the per-transaction checkpoint budget for the
+	// Hybrid strategy (ignored otherwise). Zero means no checkpoints:
+	// the strategy then behaves exactly like SDG.
+	HybridBudget int
+	// HybridAllocator chooses which lock states the Hybrid strategy
+	// checkpoints. Default hybrid.MinGap.
+	HybridAllocator hybrid.Allocator
+	// OnEvent, when non-nil, receives every engine event.
+	OnEvent func(Event)
+}
+
+// Status is a transaction's execution status.
+type Status int
+
+// Transaction statuses.
+const (
+	StatusRunning Status = iota
+	StatusWaiting
+	StatusCommitted
+)
+
+func (st Status) String() string {
+	switch st {
+	case StatusRunning:
+		return "running"
+	case StatusWaiting:
+		return "waiting"
+	case StatusCommitted:
+		return "committed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(st))
+	}
+}
+
+// lockStateRec snapshots the transaction state immediately before a
+// lock request: the program counter of the request and the state index
+// (atomic-operation count) at that point.
+type lockStateRec struct {
+	opIndex    int
+	stateIndex int64
+}
+
+// tstate is the runtime state of one registered transaction.
+type tstate struct {
+	id       txn.ID
+	prog     *txn.Program
+	analysis *txn.Analysis
+	entry    int64 // entry order (Theorem 2 partial order)
+
+	status     Status
+	pc         int
+	stateIndex int64
+	lockIndex  int
+
+	locals map[string]int64
+	copies map[string]int64 // local copies of exclusively locked entities
+	heldAt map[string]int   // entity -> lock index of its request
+	modes  map[string]lock.Mode
+
+	lockStates []lockStateRec
+	waitEntity string
+
+	unlocked     bool // entered shrinking phase; never rolled back again
+	declaredLast bool
+	// starveRounds counts deadlock resolutions this transaction's
+	// current wait has survived; reset on grant and on rollback.
+	starveRounds int
+
+	mcs *mcs.Copies
+	sdg *sdg.Graph
+	hyb *hybrid.State
+
+	stats TxnStats
+}
+
+// TxnStats accumulates per-transaction outcomes.
+type TxnStats struct {
+	// OpsExecuted counts atomic operations executed, including ones
+	// later discarded by rollback.
+	OpsExecuted int64
+	// OpsLost counts operations discarded by rollbacks (the paper's
+	// summed rollback cost).
+	OpsLost int64
+	// Rollbacks counts rollback events; Restarts counts those that went
+	// all the way to the initial state.
+	Rollbacks int64
+	Restarts  int64
+	// Waits counts lock requests that had to wait.
+	Waits int64
+}
+
+// Stats accumulates system-wide outcomes.
+type Stats struct {
+	Steps     int64
+	Grants    int64
+	Waits     int64
+	Deadlocks int64
+	Rollbacks int64
+	Restarts  int64
+	OpsLost   int64
+	Commits   int64
+	// VictimsPerDeadlock accumulates victim-set sizes (for S/X
+	// multi-cycle analysis).
+	Victims int64
+	// Wounds and Dies count prevention-mode rollbacks (§3.3).
+	Wounds int64
+	Dies   int64
+	// Escalations counts starvation-limit wound-wait escalations.
+	Escalations int64
+}
+
+// System is the concurrency control. All methods are safe for
+// concurrent use; operations are serialized internally, which models
+// the paper's single database concurrency control monitoring all
+// transactions.
+type System struct {
+	mu sync.Mutex
+
+	cfg      Config
+	store    *entity.Store
+	locks    *lock.Table
+	wf       *waitfor.Graph
+	policy   deadlock.Policy
+	recorder *history.Recorder
+
+	txns   map[txn.ID]*tstate
+	nextID txn.ID
+	entry  int64
+
+	stats Stats
+}
+
+// New creates a System. It panics if cfg.Store is nil (a programming
+// error, not a runtime condition).
+func New(cfg Config) *System {
+	if cfg.Store == nil {
+		panic("core: Config.Store is required")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = deadlock.OrderedMinCost{}
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 64
+	}
+	if cfg.StarvationLimit == 0 {
+		cfg.StarvationLimit = 8
+	}
+	s := &System{
+		cfg:    cfg,
+		store:  cfg.Store,
+		locks:  lock.NewTable(),
+		wf:     waitfor.New(),
+		policy: cfg.Policy,
+		txns:   map[txn.ID]*tstate{},
+	}
+	if cfg.RecordHistory {
+		s.recorder = history.NewRecorder()
+	}
+	return s
+}
+
+// Register adds an execution instance of prog and returns its ID. The
+// program must be valid (see txn.Validate); Register re-validates and
+// returns an error otherwise.
+func (s *System) Register(prog *txn.Program) (txn.ID, error) {
+	if err := txn.Validate(prog); err != nil {
+		return txn.None, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.entry++
+	id := s.nextID
+	t := &tstate{
+		id:       id,
+		prog:     prog,
+		analysis: txn.Analyze(prog),
+		entry:    s.entry,
+		status:   StatusRunning,
+		locals:   map[string]int64{},
+		copies:   map[string]int64{},
+		heldAt:   map[string]int{},
+		modes:    map[string]lock.Mode{},
+	}
+	for k, v := range prog.Locals {
+		t.locals[k] = v
+	}
+	switch s.cfg.Strategy {
+	case MCS:
+		t.mcs = mcs.New(prog.Locals)
+	case SDG:
+		t.sdg = sdg.New()
+	case Hybrid:
+		budget := s.cfg.HybridBudget
+		if budget < 0 {
+			budget = 0
+		}
+		t.hyb = hybrid.New(t.analysis, budget, s.cfg.HybridAllocator)
+		t.sdg = t.hyb.SDG()
+	}
+	// Verify every locked entity exists up front so execution cannot
+	// fail mid-flight on an undefined entity.
+	for _, e := range t.analysis.LockSet() {
+		if !s.store.Exists(e) {
+			return txn.None, fmt.Errorf("core: program %s locks undefined entity %q", prog.Name, e)
+		}
+	}
+	s.txns[id] = t
+	s.wf.AddTxn(id)
+	s.emit(Event{Kind: EventRegister, Txn: id, Detail: prog.Name})
+	return id, nil
+}
+
+// MustRegister is Register that panics on error (fixtures and tests).
+func (s *System) MustRegister(prog *txn.Program) txn.ID {
+	id, err := s.Register(prog)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (s *System) get(id txn.ID) (*tstate, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown transaction %v", id)
+	}
+	return t, nil
+}
+
+func (s *System) emit(e Event) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(e)
+	}
+}

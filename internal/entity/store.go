@@ -1,0 +1,211 @@
+// Package entity implements the global database: a set of named
+// entities, each holding an integer value, plus consistency constraints
+// used by tests to check that concurrency control preserves integrity.
+//
+// In the paper's model (§2, §4) the global value of an entity never
+// changes while a transaction holds it locked: writers update a local
+// copy, and the final value is installed when the entity is unlocked
+// (or the transaction commits). The store therefore only sees
+// installed, committed-or-unlocked values; rollback never needs to
+// touch it.
+package entity
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the global entity map. It is safe for concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	vals        map[string]int64
+	constraints []Constraint
+	installHook func(name string, v int64)
+}
+
+// Constraint is a named predicate over a snapshot of the database,
+// defining (part of) the set of consistent states.
+type Constraint struct {
+	Name  string
+	Check func(snapshot map[string]int64) error
+}
+
+// NewStore creates a store with the given initial values.
+func NewStore(initial map[string]int64) *Store {
+	vals := make(map[string]int64, len(initial))
+	for k, v := range initial {
+		vals[k] = v
+	}
+	return &Store{vals: vals}
+}
+
+// NewUniformStore creates a store with n entities named by prefix and
+// index ("e0".."e{n-1}" for prefix "e"), all holding init.
+func NewUniformStore(prefix string, n int, init int64) *Store {
+	vals := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		vals[fmt.Sprintf("%s%d", prefix, i)] = init
+	}
+	return &Store{vals: vals}
+}
+
+// Get returns the global value of name. Unknown entities read as zero
+// with ok=false.
+func (s *Store) Get(name string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vals[name]
+	return v, ok
+}
+
+// MustGet returns the global value of name, panicking if absent. The
+// concurrency control only reads entities that exist (lock requests
+// create them implicitly via Define or fail validation upstream).
+func (s *Store) MustGet(name string) int64 {
+	v, ok := s.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("entity: undefined entity %q", name))
+	}
+	return v
+}
+
+// Define creates or overwrites an entity outside any transaction
+// (setup only).
+func (s *Store) Define(name string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[name] = v
+}
+
+// Exists reports whether name is defined.
+func (s *Store) Exists(name string) bool {
+	_, ok := s.Get(name)
+	return ok
+}
+
+// Install sets the global value of name; called by the concurrency
+// control when an exclusively locked entity is unlocked or its
+// transaction commits. The install hook, if set, observes the write
+// before it becomes visible (write-ahead logging).
+func (s *Store) Install(name string, v int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.vals[name]; !ok {
+		return fmt.Errorf("entity: install to undefined entity %q", name)
+	}
+	if s.installHook != nil {
+		s.installHook(name, v)
+	}
+	s.vals[name] = v
+	return nil
+}
+
+// SetInstallHook registers a callback invoked under the store lock
+// before every Install takes effect. Used by internal/wal to log
+// installations durably ahead of visibility. Pass nil to clear.
+func (s *Store) SetInstallHook(h func(name string, v int64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.installHook = h
+}
+
+// Snapshot returns a copy of all values.
+func (s *Store) Snapshot() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the entire contents with snap (setup/test helper).
+func (s *Store) Restore(snap map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals = make(map[string]int64, len(snap))
+	for k, v := range snap {
+		s.vals[k] = v
+	}
+}
+
+// Names returns all entity names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of entities.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vals)
+}
+
+// AddConstraint registers a consistency constraint.
+func (s *Store) AddConstraint(c Constraint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.constraints = append(s.constraints, c)
+}
+
+// CheckConsistent evaluates all constraints against the current state
+// and returns the first violation, if any.
+func (s *Store) CheckConsistent() error {
+	snap := s.Snapshot()
+	s.mu.RLock()
+	cs := append([]Constraint(nil), s.constraints...)
+	s.mu.RUnlock()
+	for _, c := range cs {
+		if err := c.Check(snap); err != nil {
+			return fmt.Errorf("entity: constraint %q violated: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// SumConstraint returns a constraint asserting that the listed entities
+// always sum to want — the canonical bank-transfer invariant.
+func SumConstraint(name string, want int64, entities ...string) Constraint {
+	return Constraint{
+		Name: name,
+		Check: func(snap map[string]int64) error {
+			var sum int64
+			for _, e := range entities {
+				v, ok := snap[e]
+				if !ok {
+					return fmt.Errorf("entity %q missing", e)
+				}
+				sum += v
+			}
+			if sum != want {
+				return fmt.Errorf("sum = %d, want %d", sum, want)
+			}
+			return nil
+		},
+	}
+}
+
+// NonNegativeConstraint returns a constraint asserting the listed
+// entities never go negative.
+func NonNegativeConstraint(name string, entities ...string) Constraint {
+	return Constraint{
+		Name: name,
+		Check: func(snap map[string]int64) error {
+			for _, e := range entities {
+				if v := snap[e]; v < 0 {
+					return fmt.Errorf("entity %q = %d (negative)", e, v)
+				}
+			}
+			return nil
+		},
+	}
+}

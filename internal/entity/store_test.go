@@ -1,0 +1,124 @@
+package entity
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := NewStore(map[string]int64{"a": 1, "b": 2})
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("missing entity should not exist")
+	}
+	if s.MustGet("b") != 2 {
+		t.Error("MustGet")
+	}
+	if err := s.Install("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.MustGet("a") != 10 {
+		t.Error("install did not take")
+	}
+	if err := s.Install("nope", 1); err == nil {
+		t.Error("install to undefined entity must fail")
+	}
+	s.Define("c", 3)
+	if !s.Exists("c") || s.Len() != 3 {
+		t.Error("define")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of undefined should panic")
+		}
+	}()
+	NewStore(nil).MustGet("ghost")
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewStore(map[string]int64{"a": 1})
+	snap := s.Snapshot()
+	s.Define("a", 99)
+	s.Define("b", 2)
+	s.Restore(snap)
+	if s.MustGet("a") != 1 || s.Exists("b") {
+		t.Error("restore did not reset state")
+	}
+	// Snapshot is a copy.
+	snap["a"] = 7
+	if s.MustGet("a") != 1 {
+		t.Error("snapshot aliases store")
+	}
+}
+
+func TestUniformStore(t *testing.T) {
+	s := NewUniformStore("e", 4, 9)
+	if s.Len() != 4 || s.MustGet("e0") != 9 || s.MustGet("e3") != 9 {
+		t.Error("uniform store")
+	}
+}
+
+func TestSumConstraint(t *testing.T) {
+	s := NewStore(map[string]int64{"a": 5, "b": 5})
+	s.AddConstraint(SumConstraint("sum", 10, "a", "b"))
+	if err := s.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install("a", 6); err != nil {
+		t.Fatal(err)
+	}
+	err := s.CheckConsistent()
+	if err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Errorf("want sum violation, got %v", err)
+	}
+	s2 := NewStore(map[string]int64{"a": 1})
+	s2.AddConstraint(SumConstraint("sum", 1, "a", "gone"))
+	if err := s2.CheckConsistent(); err == nil {
+		t.Error("constraint over missing entity should fail")
+	}
+}
+
+func TestNonNegativeConstraint(t *testing.T) {
+	s := NewStore(map[string]int64{"a": 0})
+	s.AddConstraint(NonNegativeConstraint("nn", "a"))
+	if err := s.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Install("a", -1)
+	if err := s.CheckConsistent(); err == nil {
+		t.Error("want negative violation")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewUniformStore("e", 8, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := s.Names()[g]
+			for i := 0; i < 100; i++ {
+				_ = s.Install(name, int64(i))
+				_ = s.MustGet(name)
+				_ = s.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, n := range s.Names() {
+		if s.MustGet(n) != 99 {
+			t.Errorf("%s = %d", n, s.MustGet(n))
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package experiments implements the reproduction suite E1-E12 indexed
+// in DESIGN.md §4. Each experiment returns a typed result plus a
+// printable table (header + rows) so cmd/prbench, bench_test.go, and
+// the test suite share one implementation. Paper-vs-measured for every
+// experiment is recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the paper-fact assertions checked by the run.
+	Notes []string
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

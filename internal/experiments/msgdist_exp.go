@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/dist"
+	"partialrollback/internal/sim"
+)
+
+// E15Row is one cell of the message-passing distributed sweep.
+type E15Row struct {
+	Sites    int
+	Latency  int64
+	Strategy core.Strategy
+	Metrics  dist.MsgMetrics
+}
+
+// E15MessagePassing runs the fully distributed engine (per-site lock
+// tables and concurrency graphs, explicit messages, site-ordered
+// acquisition making every deadlock site-local per §3.3) across site
+// counts and network latencies, for total vs partial rollback.
+func E15MessagePassing(seed int64) ([]E15Row, *Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "§3.3 message-passing sites: site-ordered locking, per-site detection, partial rollback",
+		Header: []string{"sites", "latency", "strategy", "deadlocks", "lost ops", "messages", "copy ships", "makespan"},
+	}
+	var rows []E15Row
+	for _, sites := range []int{1, 2, 4, 8} {
+		tp := dist.Topology{Sites: sites}
+		w := dist.SiteOrder(sim.Generate(sim.GenConfig{
+			Txns: 16, DBSize: 24, HotSet: 8, HotProb: 0.8,
+			LocksPerTxn: 5, RewriteProb: 0.4, PadOps: 2,
+			Shape: sim.Mixed, Seed: seed,
+		}), tp)
+		for _, latency := range []int64{1, 20} {
+			for _, strat := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+				res, err := dist.MsgRun(w, dist.MsgConfig{
+					Topology: tp, Strategy: strat, Latency: latency,
+				})
+				if err != nil {
+					return nil, nil, fmt.Errorf("E15 sites=%d: %w", sites, err)
+				}
+				m := res.Metrics
+				rows = append(rows, E15Row{Sites: sites, Latency: latency, Strategy: strat, Metrics: m})
+				t.Rows = append(t.Rows, []string{
+					itoa(int64(sites)), itoa(latency), strat.String(),
+					itoa(m.Deadlocks), itoa(m.LostOps),
+					itoa(m.Total()), itoa(m.CopyShips), itoa(m.Makespan),
+				})
+			}
+		}
+	}
+	t.Notes = []string{
+		"site-ordered acquisition makes cross-site cycles impossible; every deadlock is detected and repaired at one site",
+		"more sites = a finer a-priori order on the lock space, so deadlocks fall toward zero as sites grow — ordering doubles as partial avoidance, at the price of message traffic",
+		"partial rollback keeps its (shrinking) lost-work advantage under full distribution; message volume is dominated by lock traffic, not rollbacks",
+		"latency stretches makespan with the remote fraction of each transaction's lock set",
+	}
+	return rows, t, nil
+}

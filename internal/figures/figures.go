@@ -1,0 +1,75 @@
+// Package figures reconstructs the paper's five figures as executable
+// scenarios on the real engine. Figure 1's numbers survive in the text
+// and are reproduced exactly; Figures 2-5 survive as narrative and are
+// reconstructed to satisfy every property the prose asserts (see
+// DESIGN.md §2). Each scenario returns a typed result consumed by both
+// the test suite and cmd/prfigures.
+package figures
+
+import (
+	"fmt"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// stepN steps id n times, requiring every step to progress (grant or
+// plain execution).
+func stepN(sys *core.System, id txn.ID, n int) error {
+	for i := 0; i < n; i++ {
+		res, err := sys.Step(id)
+		if err != nil {
+			return err
+		}
+		if res.Outcome != core.Progressed && res.Outcome != core.Committed {
+			return fmt.Errorf("figures: step %d of %v: unexpected outcome %v", i, id, res.Outcome)
+		}
+	}
+	return nil
+}
+
+// stepUntilBlocked steps id until its lock request blocks (with or
+// without deadlock), returning the blocking step's result.
+func stepUntilBlocked(sys *core.System, id txn.ID, max int) (core.StepResult, error) {
+	for i := 0; i < max; i++ {
+		res, err := sys.Step(id)
+		if err != nil {
+			return res, err
+		}
+		switch res.Outcome {
+		case core.Blocked, core.BlockedDeadlock:
+			return res, nil
+		case core.Progressed:
+			continue
+		default:
+			return res, fmt.Errorf("figures: %v: unexpected outcome %v before blocking", id, res.Outcome)
+		}
+	}
+	return core.StepResult{}, fmt.Errorf("figures: %v did not block within %d steps", id, max)
+}
+
+// stepToCommit steps id to completion.
+func stepToCommit(sys *core.System, id txn.ID, max int) error {
+	for i := 0; i < max; i++ {
+		res, err := sys.Step(id)
+		if err != nil {
+			return err
+		}
+		if res.Outcome == core.Committed {
+			return nil
+		}
+		if res.Outcome != core.Progressed {
+			return fmt.Errorf("figures: %v: unexpected outcome %v before commit", id, res.Outcome)
+		}
+	}
+	return fmt.Errorf("figures: %v did not commit within %d steps", id, max)
+}
+
+// padded appends n accumulator computes to b.
+func padded(b *txn.Builder, n int) *txn.Builder {
+	for i := 0; i < n; i++ {
+		b.Compute("acc", value.Add(value.L("acc"), value.C(1)))
+	}
+	return b
+}

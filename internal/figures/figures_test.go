@@ -1,0 +1,181 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/txn"
+)
+
+func TestFigure1(t *testing.T) {
+	res, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ForestBefore {
+		t.Error("pre-deadlock concurrency graph should be a forest (Theorem 1)")
+	}
+	if got := len(res.Report.Cycles); got != 1 {
+		t.Fatalf("cycles = %d, want 1", got)
+	}
+	wantCosts := map[int]int64{2: 4, 3: 6, 4: 5}
+	for i, want := range wantCosts {
+		if got := res.Costs[i]; got != want {
+			t.Errorf("cost of T%d = %d, want %d (paper: 12-8=4, 11-5=6, 15-10=5)", i, got, want)
+		}
+	}
+	if res.Victim != 2 {
+		t.Errorf("victim = T%d, want T2", res.Victim)
+	}
+	if res.T1Waiting {
+		t.Error("T1 should no longer wait for T2 after the rollback (Figure 1(b))")
+	}
+	if !res.T3HoldsB {
+		t.Error("T3 should hold b after T2's rollback")
+	}
+	for _, a := range res.ArcsAfter {
+		if a.Waiter == res.T[1] {
+			t.Errorf("T1 still waiting: %v", a)
+		}
+	}
+}
+
+func TestFigure2MinCostPreemptsForever(t *testing.T) {
+	const rounds = 10
+	res, err := RunFigure2(deadlock.MinCost{}, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ACommitted {
+		t.Error("under min-cost, A should never commit (potentially infinite mutual preemption)")
+	}
+	if res.APreempted != rounds {
+		t.Errorf("A preempted %d times, want %d", res.APreempted, rounds)
+	}
+	if res.BCommitted != rounds {
+		t.Errorf("B commits = %d, want %d", res.BCommitted, rounds)
+	}
+}
+
+func TestFigure2OrderedPolicyTerminates(t *testing.T) {
+	res, err := RunFigure2(deadlock.OrderedMinCost{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ACommitted {
+		t.Error("under the Theorem 2 ordered policy, A must commit")
+	}
+	if res.ACommitRound != 0 {
+		t.Errorf("A committed in round %d, want 0", res.ACommitRound)
+	}
+	if res.APreempted != 0 {
+		t.Errorf("A preempted %d times, want 0", res.APreempted)
+	}
+}
+
+func TestFigure3a(t *testing.T) {
+	res, err := RunFigure3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AForest {
+		t.Error("shared-lock graph should not be a forest")
+	}
+	if res.ADeadlock {
+		t.Error("scenario (a) has no deadlock")
+	}
+	if len(res.AArcs) != 3 {
+		t.Errorf("arcs = %v, want 3 (T2->T1 over a; T3->T1 and T3->T2 over c)", res.AArcs)
+	}
+}
+
+func TestFigure3b(t *testing.T) {
+	res, err := RunFigure3b(deadlock.MinCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BCycles != 2 {
+		t.Errorf("cycles = %d, want 2", res.BCycles)
+	}
+	if res.BVictimSet != "other" {
+		t.Errorf("victim set = %q (%v), want single non-requester (T2)", res.BVictimSet, res.BVictims)
+	}
+}
+
+func TestFigure3bRequesterPolicy(t *testing.T) {
+	res, err := RunFigure3b(deadlock.Requester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BCycles != 2 {
+		t.Errorf("cycles = %d, want 2", res.BCycles)
+	}
+	if res.BVictimSet != "requester" {
+		t.Errorf("victim set = %q, want requester", res.BVictimSet)
+	}
+}
+
+func TestFigure3c(t *testing.T) {
+	res, err := RunFigure3c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCycles != 2 {
+		t.Errorf("cycles = %d, want 2", res.CCycles)
+	}
+	if len(res.CVictims) != 2 {
+		t.Errorf("victims = %v, want both shared holders (T2 and T3)", res.CVictims)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	res, err := RunFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 6}; !reflect.DeepEqual(res.WellDefinedT, want) {
+		t.Errorf("T well-defined = %v, want %v (only trivial states)", res.WellDefinedT, want)
+	}
+	if want := []int{0, 4, 6}; !reflect.DeepEqual(res.WellDefinedTPrime, want) {
+		t.Errorf("T' well-defined = %v, want %v (lock index 4 becomes well-defined)", res.WellDefinedTPrime, want)
+	}
+	if !reflect.DeepEqual(res.DynamicTPrime, res.WellDefinedTPrime) {
+		t.Errorf("engine view %v != static view %v", res.DynamicTPrime, res.WellDefinedTPrime)
+	}
+	if !res.ArticulationMatches {
+		t.Error("well-defined states must equal SDG articulation points (Corollary 1)")
+	}
+	if want := []string{"E", "F"}; !reflect.DeepEqual(res.RollbackReleases, want) {
+		t.Errorf("rollback to state 4 released %v, want %v", res.RollbackReleases, want)
+	}
+	if !res.RestoredOK {
+		t.Error("post-rollback state must match a fresh execution of the prefix")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	res, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScatteredWellDefined != 2 {
+		t.Errorf("scattered well-defined = %d, want 2", res.ScatteredWellDefined)
+	}
+	if res.ClusteredWellDefined != 7 {
+		t.Errorf("clustered well-defined = %d, want 7", res.ClusteredWellDefined)
+	}
+	if res.ThreePhaseWellDefined != 7 {
+		t.Errorf("three-phase well-defined = %d, want 7", res.ThreePhaseWellDefined)
+	}
+	if res.ScatteredClustering <= res.ClusteredClustering {
+		t.Errorf("clustering index: scattered %d should exceed clustered %d",
+			res.ScatteredClustering, res.ClusteredClustering)
+	}
+	if !res.ThreePhaseIs3P {
+		t.Error("three-phase program not recognized by txn.IsThreePhase")
+	}
+	if !txn.IsThreePhase(Figure5ThreePhase()) {
+		t.Error("IsThreePhase(Figure5ThreePhase()) = false")
+	}
+}

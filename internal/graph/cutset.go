@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// CutInstance is the §3.2 optimization problem: given the simple cycles
+// closed by one lock request (all sharing the requester vertex) and a
+// rollback cost per vertex, find a vertex set of minimum total cost
+// whose removal breaks every cycle. The paper notes the general problem
+// is NP-complete; MinCostCutExact solves small instances by exhaustive
+// search and MinCostCutGreedy approximates larger ones.
+type CutInstance struct {
+	// Cycles lists the vertex sets of the cycles to break. Vertices are
+	// arbitrary int IDs (transaction IDs in practice).
+	Cycles [][]int
+	// Cost maps each vertex to its rollback cost. Vertices missing from
+	// Cost are treated as un-removable (infinite cost).
+	Cost map[int]int64
+}
+
+// candidates returns the distinct vertices appearing in any cycle that
+// have a finite cost, sorted for determinism.
+func (in CutInstance) candidates() []int {
+	set := map[int]bool{}
+	for _, c := range in.Cycles {
+		for _, v := range c {
+			if _, ok := in.Cost[v]; ok {
+				set[v] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MinCostCutExact returns a minimum-total-cost vertex set covering all
+// cycles, found by exhaustive subset search, and its cost. It returns
+// ok=false if the instance has more than maxExact candidate vertices
+// (use the greedy variant) or if no finite-cost cover exists.
+func MinCostCutExact(in CutInstance, maxExact int) (cut []int, cost int64, ok bool) {
+	if len(in.Cycles) == 0 {
+		return nil, 0, true
+	}
+	if maxExact > 30 {
+		maxExact = 30
+	}
+	cand := in.candidates()
+	if len(cand) > maxExact {
+		return nil, 0, false
+	}
+	idx := map[int]int{}
+	for i, v := range cand {
+		idx[v] = i
+	}
+	// Cycle masks over candidate bit positions.
+	masks := make([]uint64, len(in.Cycles))
+	for i, c := range in.Cycles {
+		var m uint64
+		for _, v := range c {
+			if j, ok := idx[v]; ok {
+				m |= 1 << uint(j)
+			}
+		}
+		if m == 0 {
+			return nil, 0, false // cycle with no removable vertex
+		}
+		masks[i] = m
+	}
+	best := int64(math.MaxInt64)
+	bestSet := uint64(0)
+	found := false
+	total := uint64(1) << uint(len(cand))
+	for s := uint64(0); s < total; s++ {
+		var c int64
+		for t := s; t != 0; t &= t - 1 {
+			c += in.Cost[cand[bits.TrailingZeros64(t)]]
+			if c >= best {
+				break
+			}
+		}
+		if c >= best && found {
+			continue
+		}
+		covers := true
+		for _, m := range masks {
+			if m&s == 0 {
+				covers = false
+				break
+			}
+		}
+		if covers && (!found || c < best) {
+			best, bestSet, found = c, s, true
+		}
+	}
+	if !found {
+		return nil, 0, false
+	}
+	for t := bestSet; t != 0; t &= t - 1 {
+		cut = append(cut, cand[bits.TrailingZeros64(t)])
+	}
+	sort.Ints(cut)
+	return cut, best, true
+}
+
+// MinCostCutGreedy returns a vertex cover of the cycles chosen by the
+// classic greedy set-cover heuristic (repeatedly pick the vertex with
+// the best covered-cycles-per-cost ratio), and its cost. It returns
+// ok=false only if some cycle has no finite-cost vertex.
+func MinCostCutGreedy(in CutInstance) (cut []int, cost int64, ok bool) {
+	uncovered := map[int]bool{}
+	for i := range in.Cycles {
+		uncovered[i] = true
+	}
+	inCycle := map[int][]int{} // vertex -> cycle indexes
+	for i, c := range in.Cycles {
+		for _, v := range c {
+			if _, finite := in.Cost[v]; finite {
+				inCycle[v] = append(inCycle[v], i)
+			}
+		}
+	}
+	for len(uncovered) > 0 {
+		bestV := 0
+		bestScore := math.Inf(-1)
+		found := false
+		verts := make([]int, 0, len(inCycle))
+		for v := range inCycle {
+			verts = append(verts, v)
+		}
+		sort.Ints(verts)
+		for _, v := range verts {
+			n := 0
+			for _, ci := range inCycle[v] {
+				if uncovered[ci] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			c := in.Cost[v]
+			var score float64
+			if c <= 0 {
+				score = math.Inf(1)
+			} else {
+				score = float64(n) / float64(c)
+			}
+			if score > bestScore {
+				bestScore, bestV, found = score, v, true
+			}
+		}
+		if !found {
+			return nil, 0, false
+		}
+		cut = append(cut, bestV)
+		cost += in.Cost[bestV]
+		for _, ci := range inCycle[bestV] {
+			delete(uncovered, ci)
+		}
+		delete(inCycle, bestV)
+	}
+	sort.Ints(cut)
+	return cut, cost, true
+}
+
+// CoversAllCycles reports whether removing cut breaks every cycle in
+// the instance.
+func (in CutInstance) CoversAllCycles(cut []int) bool {
+	inCut := map[int]bool{}
+	for _, v := range cut {
+		inCut[v] = true
+	}
+	for _, c := range in.Cycles {
+		hit := false
+		for _, v := range c {
+			if inCut[v] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}

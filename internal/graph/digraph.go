@@ -1,0 +1,328 @@
+// Package graph provides the small graph algorithms the paper's
+// machinery rests on: cycle detection and enumeration in directed
+// graphs (deadlock detection, §3), forest tests (Theorem 1),
+// articulation points in undirected graphs (state-dependency graphs,
+// §4), and minimum-cost vertex cuts over cycle families (§3.2's
+// NP-complete victim optimization, solved exactly for small instances
+// and greedily otherwise).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over int vertex IDs. The zero value is
+// ready to use.
+type Digraph struct {
+	out map[int]map[int]bool
+	in  map[int]map[int]bool
+}
+
+// NewDigraph returns an empty directed graph.
+func NewDigraph() *Digraph {
+	return &Digraph{
+		out: map[int]map[int]bool{},
+		in:  map[int]map[int]bool{},
+	}
+}
+
+// AddNode ensures v exists.
+func (g *Digraph) AddNode(v int) {
+	if g.out[v] == nil {
+		g.out[v] = map[int]bool{}
+	}
+	if g.in[v] == nil {
+		g.in[v] = map[int]bool{}
+	}
+}
+
+// HasNode reports whether v exists.
+func (g *Digraph) HasNode(v int) bool {
+	_, ok := g.out[v]
+	return ok
+}
+
+// AddEdge inserts the arc u -> v, creating nodes as needed.
+func (g *Digraph) AddEdge(u, v int) {
+	g.AddNode(u)
+	g.AddNode(v)
+	g.out[u][v] = true
+	g.in[v][u] = true
+}
+
+// RemoveEdge deletes the arc u -> v if present.
+func (g *Digraph) RemoveEdge(u, v int) {
+	if g.out[u] != nil {
+		delete(g.out[u], v)
+	}
+	if g.in[v] != nil {
+		delete(g.in[v], u)
+	}
+}
+
+// HasEdge reports whether the arc u -> v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	return g.out[u] != nil && g.out[u][v]
+}
+
+// RemoveNode deletes v and all incident arcs.
+func (g *Digraph) RemoveNode(v int) {
+	for w := range g.out[v] {
+		delete(g.in[w], v)
+	}
+	for w := range g.in[v] {
+		delete(g.out[w], v)
+	}
+	delete(g.out, v)
+	delete(g.in, v)
+}
+
+// Nodes returns all vertices, sorted.
+func (g *Digraph) Nodes() []int {
+	out := make([]int, 0, len(g.out))
+	for v := range g.out {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Succ returns the successors of v, sorted.
+func (g *Digraph) Succ(v int) []int {
+	out := make([]int, 0, len(g.out[v]))
+	for w := range g.out[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Pred returns the predecessors of v, sorted.
+func (g *Digraph) Pred(v int) []int {
+	out := make([]int, 0, len(g.in[v]))
+	for w := range g.in[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEdges returns the arc count.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	for _, s := range g.out {
+		n += len(s)
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (g *Digraph) Clone() *Digraph {
+	c := NewDigraph()
+	for v := range g.out {
+		c.AddNode(v)
+		for w := range g.out[v] {
+			c.AddEdge(v, w)
+		}
+	}
+	return c
+}
+
+// HasCycle reports whether the graph contains any directed cycle.
+func (g *Digraph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		color[v] = gray
+		for w := range g.out[v] {
+			switch color[w] {
+			case gray:
+				return true
+			case white:
+				if visit(w) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := range g.out {
+		if color[v] == white && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathExists reports whether v is reachable from u.
+func (g *Digraph) PathExists(u, v int) bool {
+	if !g.HasNode(u) || !g.HasNode(v) {
+		return false
+	}
+	seen := map[int]bool{u: true}
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		for w := range g.out[x] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// CycleThrough returns one simple cycle containing v, or nil if none.
+// The returned slice lists the cycle's vertices starting at v, without
+// repeating v at the end.
+func (g *Digraph) CycleThrough(v int) []int {
+	if !g.HasNode(v) {
+		return nil
+	}
+	// Find a path from some successor of v back to v.
+	parent := map[int]int{}
+	seen := map[int]bool{}
+	var stack []int
+	for w := range g.out[v] {
+		if w == v {
+			return []int{v} // self loop
+		}
+		if !seen[w] {
+			seen[w] = true
+			parent[w] = v
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for w := range g.out[x] {
+			if w == v {
+				// Reconstruct v ... x.
+				var rev []int
+				for c := x; c != v; c = parent[c] {
+					rev = append(rev, c)
+				}
+				cycle := []int{v}
+				for i := len(rev) - 1; i >= 0; i-- {
+					cycle = append(cycle, rev[i])
+				}
+				return cycle
+			}
+			if !seen[w] {
+				seen[w] = true
+				parent[w] = x
+				stack = append(stack, w)
+			}
+		}
+	}
+	return nil
+}
+
+// AllCyclesThrough enumerates simple cycles containing v, up to limit
+// (limit <= 0 means no limit). Each cycle starts at v. The search is a
+// DFS over simple paths from v back to v; exponential in the worst case
+// but the deadlock graphs here are tiny.
+func (g *Digraph) AllCyclesThrough(v int, limit int) [][]int {
+	if !g.HasNode(v) {
+		return nil
+	}
+	var cycles [][]int
+	onPath := map[int]bool{v: true}
+	path := []int{v}
+	var dfs func(x int) bool // returns true when limit reached
+	dfs = func(x int) bool {
+		for _, w := range g.Succ(x) {
+			if w == v {
+				cycle := append([]int(nil), path...)
+				cycles = append(cycles, cycle)
+				if limit > 0 && len(cycles) >= limit {
+					return true
+				}
+				continue
+			}
+			if onPath[w] {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+			delete(onPath, w)
+		}
+		return false
+	}
+	dfs(v)
+	return cycles
+}
+
+// IsForest reports whether the graph, viewed as undirected, is acyclic
+// (Theorem 1's characterization of deadlock freedom for exclusive-lock
+// systems). Parallel arcs u->v and v->u count as a cycle.
+func (g *Digraph) IsForest() bool {
+	parent := map[int]int{}
+	seen := map[int]bool{}
+	type frame struct{ v, from int }
+	for root := range g.out {
+		if seen[root] {
+			continue
+		}
+		stack := []frame{{root, -1}}
+		seen[root] = true
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			// Undirected neighbors.
+			nbrs := map[int]int{}
+			for w := range g.out[f.v] {
+				nbrs[w]++
+			}
+			for w := range g.in[f.v] {
+				nbrs[w]++
+			}
+			if nbrs[f.v] > 0 {
+				return false // self loop
+			}
+			usedParentEdge := false
+			for w, mult := range nbrs {
+				if w == f.from && !usedParentEdge {
+					usedParentEdge = true
+					if mult > 1 {
+						return false // parallel arcs both ways
+					}
+					continue
+				}
+				if seen[w] {
+					return false
+				}
+				seen[w] = true
+				parent[w] = f.v
+				stack = append(stack, frame{w, f.v})
+			}
+		}
+	}
+	return true
+}
+
+// String renders the graph as sorted adjacency lists.
+func (g *Digraph) String() string {
+	s := ""
+	for _, v := range g.Nodes() {
+		s += fmt.Sprintf("%d -> %v\n", v, g.Succ(v))
+	}
+	return s
+}

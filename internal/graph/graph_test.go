@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigraphBasics(t *testing.T) {
+	g := NewDigraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("edges")
+	}
+	if got := g.Succ(2); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("succ = %v", got)
+	}
+	if got := g.Pred(2); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("pred = %v", got)
+	}
+	if g.NumEdges() != 2 {
+		t.Error("edge count")
+	}
+	g.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) || g.NumEdges() != 1 {
+		t.Error("remove edge")
+	}
+	g.AddEdge(1, 2)
+	g.RemoveNode(2)
+	if g.HasNode(2) || g.NumEdges() != 0 {
+		t.Error("remove node")
+	}
+	if !g.HasNode(1) || !g.HasNode(3) {
+		t.Error("other nodes must survive")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := NewDigraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	if g.HasCycle() {
+		t.Error("chain has no cycle")
+	}
+	g.AddEdge(4, 2)
+	if !g.HasCycle() {
+		t.Error("cycle not detected")
+	}
+	c := g.CycleThrough(2)
+	if len(c) != 3 || c[0] != 2 {
+		t.Errorf("cycle through 2 = %v", c)
+	}
+	if g.CycleThrough(1) != nil {
+		t.Error("1 is not on a cycle")
+	}
+	if got := g.CycleThrough(99); got != nil {
+		t.Error("unknown vertex")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := NewDigraph()
+	g.AddEdge(5, 5)
+	if !g.HasCycle() {
+		t.Error("self loop is a cycle")
+	}
+	if c := g.CycleThrough(5); len(c) != 1 || c[0] != 5 {
+		t.Errorf("self cycle = %v", c)
+	}
+	if g.IsForest() {
+		t.Error("self loop is not a forest")
+	}
+}
+
+func TestAllCyclesThrough(t *testing.T) {
+	g := NewDigraph()
+	// Two cycles through 0: 0->1->0 and 0->1->2->0.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	cycles := g.AllCyclesThrough(0, 0)
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	for _, c := range cycles {
+		if c[0] != 0 {
+			t.Errorf("cycle must start at 0: %v", c)
+		}
+	}
+	if got := g.AllCyclesThrough(0, 1); len(got) != 1 {
+		t.Errorf("limit ignored: %v", got)
+	}
+}
+
+func TestPathExists(t *testing.T) {
+	g := NewDigraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.PathExists(1, 3) || g.PathExists(3, 1) {
+		t.Error("path")
+	}
+	if !g.PathExists(1, 1) {
+		t.Error("trivial path to self")
+	}
+	if g.PathExists(1, 99) {
+		t.Error("missing target")
+	}
+}
+
+func TestIsForest(t *testing.T) {
+	g := NewDigraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 2) // two trees sharing a sink: still acyclic undirected? 1-2, 3-2: a path, fine
+	g.AddEdge(4, 5)
+	if !g.IsForest() {
+		t.Error("disjoint trees are a forest")
+	}
+	g.AddEdge(1, 3) // closes undirected cycle 1-2-3-1
+	if g.IsForest() {
+		t.Error("undirected cycle not detected")
+	}
+	// Parallel arcs both directions are an undirected cycle.
+	h := NewDigraph()
+	h.AddEdge(1, 2)
+	h.AddEdge(2, 1)
+	if h.IsForest() {
+		t.Error("antiparallel arcs are a cycle")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := NewDigraph()
+	g.AddEdge(1, 2)
+	c := g.Clone()
+	c.AddEdge(2, 1)
+	if g.HasEdge(2, 1) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestUndirectedBasics(t *testing.T) {
+	u := NewUndirected()
+	u.AddEdge(0, 1)
+	u.AddEdge(1, 2)
+	u.AddEdge(2, 2) // self loop ignored
+	if !u.HasEdge(1, 0) {
+		t.Error("undirected symmetry")
+	}
+	if got := u.Neighbors(1); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("neighbors = %v", got)
+	}
+	if got := u.Nodes(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("nodes = %v", got)
+	}
+}
+
+// bruteArticulation finds articulation points by deletion and
+// component counting.
+func bruteArticulation(u *Undirected) []int {
+	components := func(skip int) int {
+		seen := map[int]bool{}
+		n := 0
+		for _, v := range u.Nodes() {
+			if v == skip || seen[v] {
+				continue
+			}
+			n++
+			stack := []int{v}
+			seen[v] = true
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range u.Neighbors(x) {
+					if w != skip && !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+		return n
+	}
+	base := components(-1 << 30)
+	var out []int
+	for _, v := range u.Nodes() {
+		if components(v) > base {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestArticulationChain(t *testing.T) {
+	u := NewUndirected()
+	for i := 0; i < 5; i++ {
+		u.AddEdge(i, i+1)
+	}
+	want := []int{1, 2, 3, 4}
+	if got := u.ArticulationPoints(); !reflect.DeepEqual(got, want) {
+		t.Errorf("chain articulation = %v, want %v", got, want)
+	}
+	// Adding a chord 0-5 removes all of them.
+	u.AddEdge(0, 5)
+	if got := u.ArticulationPoints(); len(got) != 0 {
+		t.Errorf("ring articulation = %v", got)
+	}
+}
+
+func TestQuickArticulationMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := NewUndirected()
+		n := 3 + rng.Intn(10)
+		for v := 0; v < n; v++ {
+			u.AddNode(v)
+		}
+		edges := rng.Intn(2 * n)
+		for i := 0; i < edges; i++ {
+			u.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		got := fmt.Sprint(u.ArticulationPoints())
+		want := fmt.Sprint(bruteArticulation(u))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteMinCut enumerates all subsets of cycle vertices.
+func bruteMinCut(in CutInstance) (int64, bool) {
+	var verts []int
+	seen := map[int]bool{}
+	for _, c := range in.Cycles {
+		for _, v := range c {
+			if _, finite := in.Cost[v]; finite && !seen[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+	}
+	best := int64(1<<62 - 1)
+	found := false
+	for mask := 0; mask < 1<<len(verts); mask++ {
+		var cut []int
+		var cost int64
+		for i, v := range verts {
+			if mask&(1<<i) != 0 {
+				cut = append(cut, v)
+				cost += in.Cost[v]
+			}
+		}
+		if in.CoversAllCycles(cut) && (!found || cost < best) {
+			best, found = cost, true
+		}
+	}
+	return best, found
+}
+
+func TestQuickExactCutOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		inst := CutInstance{Cost: map[int]int64{}}
+		for v := 0; v < n; v++ {
+			inst.Cost[v] = int64(1 + rng.Intn(10))
+		}
+		ncycles := 1 + rng.Intn(4)
+		for c := 0; c < ncycles; c++ {
+			k := 1 + rng.Intn(n)
+			perm := rng.Perm(n)
+			inst.Cycles = append(inst.Cycles, perm[:k])
+		}
+		cut, cost, ok := MinCostCutExact(inst, 20)
+		wantCost, wantOK := bruteMinCut(inst)
+		if ok != wantOK {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return cost == wantCost && inst.CoversAllCycles(cut)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCoversAndNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for rep := 0; rep < 200; rep++ {
+		n := 2 + rng.Intn(10)
+		inst := CutInstance{Cost: map[int]int64{}}
+		for v := 0; v < n; v++ {
+			inst.Cost[v] = int64(1 + rng.Intn(10))
+		}
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			k := 1 + rng.Intn(n)
+			inst.Cycles = append(inst.Cycles, rng.Perm(n)[:k])
+		}
+		gcut, gcost, ok := MinCostCutGreedy(inst)
+		if !ok || !inst.CoversAllCycles(gcut) {
+			t.Fatalf("greedy failed to cover: %+v", inst)
+		}
+		_, ecost, ok := MinCostCutExact(inst, 20)
+		if !ok {
+			t.Fatal("exact failed")
+		}
+		if gcost < ecost {
+			t.Fatalf("greedy %d < exact %d", gcost, ecost)
+		}
+	}
+}
+
+func TestCutInfiniteCostVertices(t *testing.T) {
+	inst := CutInstance{
+		Cycles: [][]int{{1, 2}},
+		Cost:   map[int]int64{1: 5}, // 2 is un-removable
+	}
+	cut, cost, ok := MinCostCutExact(inst, 20)
+	if !ok || cost != 5 || len(cut) != 1 || cut[0] != 1 {
+		t.Errorf("cut = %v cost %d ok %v", cut, cost, ok)
+	}
+	inst2 := CutInstance{Cycles: [][]int{{3}}, Cost: map[int]int64{}}
+	if _, _, ok := MinCostCutExact(inst2, 20); ok {
+		t.Error("uncoverable instance must fail")
+	}
+	if _, _, ok := MinCostCutGreedy(inst2); ok {
+		t.Error("greedy uncoverable instance must fail")
+	}
+}
+
+func TestCutEmptyInstance(t *testing.T) {
+	cut, cost, ok := MinCostCutExact(CutInstance{}, 20)
+	if !ok || cost != 0 || len(cut) != 0 {
+		t.Error("empty instance should be trivially covered")
+	}
+}
+
+func TestCutTooLargeForExact(t *testing.T) {
+	inst := CutInstance{Cost: map[int]int64{}}
+	var cyc []int
+	for v := 0; v < 25; v++ {
+		inst.Cost[v] = 1
+		cyc = append(cyc, v)
+	}
+	inst.Cycles = [][]int{cyc}
+	if _, _, ok := MinCostCutExact(inst, 20); ok {
+		t.Error("should refuse instances above maxExact")
+	}
+	if _, _, ok := MinCostCutGreedy(inst); !ok {
+		t.Error("greedy should handle large instances")
+	}
+}

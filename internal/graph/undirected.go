@@ -1,0 +1,129 @@
+package graph
+
+import "sort"
+
+// Undirected is an undirected graph over int vertex IDs, used for the
+// paper's state-dependency graphs (§4). The zero value is not usable;
+// call NewUndirected.
+type Undirected struct {
+	adj map[int]map[int]bool
+}
+
+// NewUndirected returns an empty undirected graph.
+func NewUndirected() *Undirected {
+	return &Undirected{adj: map[int]map[int]bool{}}
+}
+
+// AddNode ensures v exists.
+func (g *Undirected) AddNode(v int) {
+	if g.adj[v] == nil {
+		g.adj[v] = map[int]bool{}
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}, creating nodes as needed.
+// Self loops are ignored (the SDG's first-write edges are self loops
+// and carry no constraint).
+func (g *Undirected) AddEdge(u, v int) {
+	if u == v {
+		g.AddNode(u)
+		return
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether the edge {u, v} exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	return g.adj[u] != nil && g.adj[u][v]
+}
+
+// Nodes returns all vertices, sorted.
+func (g *Undirected) Nodes() []int {
+	out := make([]int, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Neighbors returns v's neighbors, sorted.
+func (g *Undirected) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ArticulationPoints returns the articulation points of the graph
+// (vertices whose removal increases the number of connected
+// components), sorted. Standard Tarjan low-link DFS.
+func (g *Undirected) ArticulationPoints() []int {
+	disc := map[int]int{}
+	low := map[int]int{}
+	isArt := map[int]bool{}
+	timer := 0
+
+	type frame struct {
+		v, parent int
+		nbrs      []int
+		next      int
+		children  int
+	}
+
+	for _, root := range g.Nodes() {
+		if _, seen := disc[root]; seen {
+			continue
+		}
+		stack := []frame{{v: root, parent: -1, nbrs: g.Neighbors(root)}}
+		timer++
+		disc[root], low[root] = timer, timer
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.nbrs) {
+				w := f.nbrs[f.next]
+				f.next++
+				if w == f.parent {
+					continue
+				}
+				if d, seen := disc[w]; seen {
+					if d < low[f.v] {
+						low[f.v] = d
+					}
+					continue
+				}
+				f.children++
+				timer++
+				disc[w], low[w] = timer, timer
+				stack = append(stack, frame{v: w, parent: f.v, nbrs: g.Neighbors(w)})
+				continue
+			}
+			// Post-visit: propagate low to parent.
+			done := *f
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[done.v] < low[p.v] {
+					low[p.v] = low[done.v]
+				}
+				if p.parent != -1 && low[done.v] >= disc[p.v] {
+					isArt[p.v] = true
+				}
+			}
+			if done.parent == -1 && done.children > 1 {
+				isArt[done.v] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(isArt))
+	for v := range isArt {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

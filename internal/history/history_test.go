@@ -1,0 +1,154 @@
+package history
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"partialrollback/internal/txn"
+)
+
+func TestSerialHistory(t *testing.T) {
+	r := NewRecorder()
+	r.OnGrant(1, "a", Write)
+	r.OnRelease(1, "a")
+	r.OnCommit(1)
+	r.OnGrant(2, "a", Write)
+	r.OnCommit(2) // implicit release at commit
+	edges, err := r.CheckSerializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 1 || edges[0].From != 1 || edges[0].To != 2 {
+		t.Errorf("edges = %v", edges)
+	}
+	order, err := r.SerialOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []txn.ID{1, 2}) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestReadersDontConflict(t *testing.T) {
+	r := NewRecorder()
+	r.OnGrant(1, "a", Read)
+	r.OnGrant(2, "a", Read)
+	r.OnCommit(1)
+	r.OnCommit(2)
+	edges, err := r.CheckSerializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 0 {
+		t.Errorf("read-read conflict recorded: %v", edges)
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	r := NewRecorder()
+	r.OnGrant(1, "a", Write)
+	r.OnGrant(2, "a", Write) // overlapping writers: locking violation
+	r.OnCommit(1)
+	r.OnCommit(2)
+	if _, err := r.CheckSerializable(); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("want overlap error, got %v", err)
+	}
+}
+
+func TestRetractErasesEpisode(t *testing.T) {
+	r := NewRecorder()
+	r.OnGrant(1, "a", Write)
+	r.OnRetract(1, "a") // rollback released without install
+	r.OnGrant(2, "a", Write)
+	r.OnCommit(2)
+	r.OnGrant(1, "a", Write) // re-acquired after rollback
+	r.OnCommit(1)
+	edges, err := r.CheckSerializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the re-acquired episode counts: 2 -> 1.
+	if len(edges) != 1 || edges[0].From != 2 || edges[0].To != 1 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestAbortDiscardsEverything(t *testing.T) {
+	r := NewRecorder()
+	r.OnGrant(1, "a", Write)
+	r.OnRelease(1, "a")
+	r.OnAbort(1)
+	if len(r.Committed()) != 0 {
+		t.Error("aborted episodes leaked")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	// Construct an artificial non-serializable history: T1 before T2 on
+	// a, T2 before T1 on b.
+	r := NewRecorder()
+	r.OnGrant(1, "a", Write)
+	r.OnRelease(1, "a")
+	r.OnGrant(2, "b", Write)
+	r.OnRelease(2, "b")
+	r.OnGrant(2, "a", Write)
+	r.OnRelease(2, "a")
+	r.OnGrant(1, "b", Write)
+	r.OnRelease(1, "b")
+	r.OnCommit(1)
+	r.OnCommit(2)
+	if _, err := r.CheckSerializable(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("want cycle error, got %v", err)
+	}
+	if _, err := r.SerialOrder(); err == nil {
+		t.Error("serial order must fail on a cycle")
+	}
+}
+
+func TestReleaseWithoutGrantIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.OnRelease(1, "ghost")
+	r.OnCommit(1)
+	if len(r.Committed()) != 0 {
+		t.Error("phantom episode")
+	}
+}
+
+func TestRWandWRConflicts(t *testing.T) {
+	r := NewRecorder()
+	r.OnGrant(1, "a", Read)
+	r.OnRelease(1, "a")
+	r.OnGrant(2, "a", Write)
+	r.OnRelease(2, "a")
+	r.OnGrant(3, "a", Read)
+	r.OnRelease(3, "a")
+	for _, id := range []txn.ID{1, 2, 3} {
+		r.OnCommit(id)
+	}
+	edges, err := r.CheckSerializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1->2 (R before W) and 2->3 (W before R); 1 and 3 don't conflict.
+	if len(edges) != 2 {
+		t.Errorf("edges = %v", edges)
+	}
+	order, err := r.SerialOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []txn.ID{1, 2, 3}) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestClock(t *testing.T) {
+	r := NewRecorder()
+	t0 := r.Now()
+	t1 := r.Tick()
+	if t1 != t0+1 || r.Now() != t1 {
+		t.Error("clock")
+	}
+}

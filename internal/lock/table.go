@@ -1,0 +1,345 @@
+// Package lock implements the lock table for the two-phase locking
+// system of §2: shared and exclusive locks on named entities, with FIFO
+// wait queues. Grant rules follow the paper's database-management
+// responses:
+//
+//  1. a request is granted when no conflicting transaction holds a
+//     lock on the entity (shared requests conflict only with exclusive
+//     holders; exclusive requests conflict with any holder);
+//  2. otherwise the requester waits.
+//
+// Deadlock detection and rollback (response 3) live above this package,
+// in internal/deadlock and internal/core.
+//
+// The table is not safe for concurrent use; the owning System
+// serializes access.
+package lock
+
+import (
+	"fmt"
+	"sort"
+
+	"partialrollback/internal/txn"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// Compatible reports whether a lock of mode m may coexist with a held
+// lock of mode held.
+func Compatible(m, held Mode) bool {
+	return m == Shared && held == Shared
+}
+
+// Grant records a lock grant, returned by Release when queued waiters
+// are promoted.
+type Grant struct {
+	Txn    txn.ID
+	Entity string
+	Mode   Mode
+}
+
+// Waiter is one queued request.
+type Waiter struct {
+	Txn  txn.ID
+	Mode Mode
+}
+
+type entry struct {
+	holders map[txn.ID]Mode
+	queue   []Waiter
+}
+
+// Table is the lock table.
+type Table struct {
+	entries map[string]*entry
+	// held indexes the entities each transaction holds.
+	held map[txn.ID]map[string]Mode
+	// waiting maps each waiting transaction to the entity it waits on.
+	// A transaction waits on at most one entity at a time.
+	waiting map[txn.ID]string
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{
+		entries: map[string]*entry{},
+		held:    map[txn.ID]map[string]Mode{},
+		waiting: map[txn.ID]string{},
+	}
+}
+
+func (t *Table) entryFor(name string) *entry {
+	e := t.entries[name]
+	if e == nil {
+		e = &entry{holders: map[txn.ID]Mode{}}
+		t.entries[name] = e
+	}
+	return e
+}
+
+// Acquire requests a lock. If grantable it is granted immediately and
+// Acquire returns granted=true. Otherwise the request is queued FIFO
+// and blockers lists the conflicting holders (the transactions the
+// requester now waits for, i.e. the arcs added to the concurrency
+// graph).
+//
+// Re-requesting an entity already held, or requesting while already
+// waiting, is a programming error and returns a non-nil error.
+func (t *Table) Acquire(id txn.ID, name string, m Mode) (granted bool, blockers []txn.ID, err error) {
+	if ent, isWaiting := t.waiting[id]; isWaiting {
+		return false, nil, fmt.Errorf("lock: %v requested %q while waiting on %q", id, name, ent)
+	}
+	if _, holds := t.held[id][name]; holds {
+		return false, nil, fmt.Errorf("lock: %v re-requested held entity %q", id, name)
+	}
+	e := t.entryFor(name)
+	if t.grantable(e, m) {
+		t.grant(id, name, m)
+		return true, nil, nil
+	}
+	e.queue = append(e.queue, Waiter{Txn: id, Mode: m})
+	t.waiting[id] = name
+	for h := range e.holders {
+		if h != id {
+			blockers = append(blockers, h)
+		}
+	}
+	sortIDs(blockers)
+	return false, blockers, nil
+}
+
+func (t *Table) grantable(e *entry, m Mode) bool {
+	if len(e.holders) == 0 {
+		return true
+	}
+	if m == Exclusive {
+		return false
+	}
+	for _, hm := range e.holders {
+		if hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) grant(id txn.ID, name string, m Mode) {
+	e := t.entryFor(name)
+	e.holders[id] = m
+	if t.held[id] == nil {
+		t.held[id] = map[string]Mode{}
+	}
+	t.held[id][name] = m
+}
+
+// Release drops id's lock on name and promotes queued waiters FIFO:
+// consecutive grantable requests at the head of the queue are granted
+// and returned. Releasing an entity not held returns an error.
+func (t *Table) Release(id txn.ID, name string) ([]Grant, error) {
+	e := t.entries[name]
+	if e == nil {
+		return nil, fmt.Errorf("lock: release of unknown entity %q", name)
+	}
+	if _, ok := e.holders[id]; !ok {
+		return nil, fmt.Errorf("lock: %v released %q it does not hold", id, name)
+	}
+	delete(e.holders, id)
+	delete(t.held[id], name)
+	return t.promote(name), nil
+}
+
+// promote grants queued requests in *age* order (ascending transaction
+// ID; the engine assigns IDs in entry order), repeatedly granting the
+// oldest grantable waiter until none remains. Two properties matter:
+//
+//   - every waiter left queued conflicts with at least one *current
+//     holder*, so the wait-for graph always has an arc for every waiter
+//     and deadlock detection stays sound;
+//   - the oldest waiting transaction wins the entity as soon as it is
+//     compatible. Combined with victim policies that never preempt the
+//     oldest active transaction, this gives the wound-wait liveness
+//     argument: the oldest transaction's progress is monotone, so
+//     preemption rings cannot run forever (a failure mode the
+//     randomized soak test exhibited under plain FIFO promotion).
+func (t *Table) promote(name string) []Grant {
+	e := t.entries[name]
+	if e == nil {
+		return nil
+	}
+	var grants []Grant
+	for {
+		best := -1
+		for i, w := range e.queue {
+			if !t.grantable(e, w.Mode) {
+				continue
+			}
+			if best == -1 || w.Txn < e.queue[best].Txn {
+				best = i
+			}
+		}
+		if best == -1 {
+			return grants
+		}
+		w := e.queue[best]
+		e.queue = append(e.queue[:best], e.queue[best+1:]...)
+		delete(t.waiting, w.Txn)
+		t.grant(w.Txn, name, w.Mode)
+		grants = append(grants, Grant{Txn: w.Txn, Entity: name, Mode: w.Mode})
+	}
+}
+
+// RemoveWaiter retracts id's queued request (used when a waiting
+// transaction is chosen as a rollback victim). It returns any grants
+// promoted as a result (a retracted head request can unblock others),
+// and reports whether id was actually waiting on name.
+func (t *Table) RemoveWaiter(id txn.ID, name string) ([]Grant, bool) {
+	e := t.entries[name]
+	if e == nil {
+		return nil, false
+	}
+	for i, w := range e.queue {
+		if w.Txn == id {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			delete(t.waiting, id)
+			return t.promote(name), true
+		}
+	}
+	return nil, false
+}
+
+// ReleaseAll drops every lock id holds and retracts its queued request
+// if any, returning all resulting grants. Used by commit and by total
+// restart.
+func (t *Table) ReleaseAll(id txn.ID) []Grant {
+	var grants []Grant
+	if ent, ok := t.waiting[id]; ok {
+		g, _ := t.RemoveWaiter(id, ent)
+		grants = append(grants, g...)
+	}
+	names := make([]string, 0, len(t.held[id]))
+	for name := range t.held[id] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, err := t.Release(id, name)
+		if err == nil {
+			grants = append(grants, g...)
+		}
+	}
+	delete(t.held, id)
+	return grants
+}
+
+// Holders returns the transactions holding name, sorted.
+func (t *Table) Holders(name string) []txn.ID {
+	e := t.entries[name]
+	if e == nil {
+		return nil
+	}
+	out := make([]txn.ID, 0, len(e.holders))
+	for id := range e.holders {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// ModeOf returns the mode id holds on name, if any.
+func (t *Table) ModeOf(id txn.ID, name string) (Mode, bool) {
+	m, ok := t.held[id][name]
+	return m, ok
+}
+
+// HeldBy returns the entities id holds, sorted.
+func (t *Table) HeldBy(id txn.ID) []string {
+	out := make([]string, 0, len(t.held[id]))
+	for name := range t.held[id] {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WaitingOn returns the entity id is queued for, if any.
+func (t *Table) WaitingOn(id txn.ID) (string, bool) {
+	name, ok := t.waiting[id]
+	return name, ok
+}
+
+// Queue returns the waiters queued on name, in order.
+func (t *Table) Queue(name string) []Waiter {
+	e := t.entries[name]
+	if e == nil {
+		return nil
+	}
+	return append([]Waiter(nil), e.queue...)
+}
+
+// CheckInvariants validates internal consistency (used by tests):
+// holder sets respect compatibility, indexes agree with entries, and
+// every waiter's queued request is recorded in waiting.
+func (t *Table) CheckInvariants() error {
+	for name, e := range t.entries {
+		x := 0
+		for _, m := range e.holders {
+			if m == Exclusive {
+				x++
+			}
+		}
+		if x > 1 || (x == 1 && len(e.holders) > 1) {
+			return fmt.Errorf("lock: entity %q held incompatibly (%d holders, %d exclusive)", name, len(e.holders), x)
+		}
+		for id, m := range e.holders {
+			if got, ok := t.held[id][name]; !ok || got != m {
+				return fmt.Errorf("lock: held index out of sync for %v on %q", id, name)
+			}
+		}
+		for _, w := range e.queue {
+			if got, ok := t.waiting[w.Txn]; !ok || got != name {
+				return fmt.Errorf("lock: waiting index out of sync for %v on %q", w.Txn, name)
+			}
+			if t.grantable(e, w.Mode) {
+				return fmt.Errorf("lock: waiter %v on %q is grantable but still queued", w.Txn, name)
+			}
+		}
+	}
+	for id, names := range t.held {
+		for name, m := range names {
+			e := t.entries[name]
+			if e == nil || e.holders[id] != m {
+				return fmt.Errorf("lock: reverse held index stale for %v on %q", id, name)
+			}
+		}
+	}
+	for id, name := range t.waiting {
+		found := false
+		for _, w := range t.entries[name].queue {
+			if w.Txn == id {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("lock: %v marked waiting on %q but not queued", id, name)
+		}
+	}
+	return nil
+}
+
+func sortIDs(ids []txn.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

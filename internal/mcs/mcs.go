@@ -1,0 +1,214 @@
+// Package mcs implements the paper's multi-lock copy strategy (§4):
+// the rollback bookkeeping that lets a transaction be rolled back to
+// *any* of its lock states.
+//
+// For every exclusively locked entity the transaction keeps a stack of
+// (value, lock index) elements; the bottom element is the entity's
+// global value, pushed when the lock was granted. Each local variable
+// likewise has a stack whose bottom is its initial value. A write at
+// lock index j pushes a new element when the top's index is below j and
+// overwrites the top's value otherwise, so the stack holds exactly one
+// element per lock interval in which the target was written — the value
+// the target had at each subsequent lock state.
+//
+// Rollback to lock state q deletes the stacks of entities locked after
+// q and pops every element with lock index > q from the surviving
+// stacks, leaving each top equal to the target's value at state q.
+//
+// Theorem 3: with n held locks there can be at most n(n+1)/2 stack
+// elements for global entities and n per local variable. The package
+// exposes exact space accounting so the bound is measurable (experiment
+// E7).
+package mcs
+
+import (
+	"fmt"
+	"sort"
+)
+
+type elem struct {
+	value     int64
+	lockIndex int
+}
+
+type stack struct {
+	// index is the stack's own index: the lock index of the lock state
+	// the stack is associated with (entity stacks), or 0 (local
+	// variable stacks).
+	index int
+	elems []elem
+}
+
+func (s *stack) top() *elem { return &s.elems[len(s.elems)-1] }
+
+// Copies is the per-transaction MCS state. The zero value is not
+// usable; call New.
+type Copies struct {
+	entities map[string]*stack
+	locals   map[string]*stack
+	// lockIndex is the number of lock requests the transaction has
+	// executed; writes occurring now have this lock index.
+	lockIndex int
+	// peakElems tracks the high-water mark of total stack elements.
+	peakEntityElems int
+	peakLocalElems  int
+}
+
+// New returns MCS state for a transaction with the given local
+// variables and initial values.
+func New(locals map[string]int64) *Copies {
+	c := &Copies{
+		entities: map[string]*stack{},
+		locals:   map[string]*stack{},
+	}
+	for name, init := range locals {
+		c.locals[name] = &stack{index: 0, elems: []elem{{value: init, lockIndex: 0}}}
+	}
+	c.notePeak()
+	return c
+}
+
+// OnLock records a granted lock request. For exclusive locks the
+// entity's global value at grant time must be supplied so the new
+// stack's bottom element can be created; shared locks create no stack
+// (shared entities are never written). The lock index advances for both.
+func (c *Copies) OnLock(entity string, exclusive bool, globalValue int64) {
+	if exclusive {
+		c.entities[entity] = &stack{
+			index: c.lockIndex,
+			elems: []elem{{value: globalValue, lockIndex: c.lockIndex}},
+		}
+	}
+	c.lockIndex++
+	c.notePeak()
+}
+
+// LockIndex returns the current lock index (number of lock requests
+// executed).
+func (c *Copies) LockIndex() int { return c.lockIndex }
+
+// WriteEntity records a write of v to an exclusively locked entity.
+func (c *Copies) WriteEntity(entity string, v int64) error {
+	s := c.entities[entity]
+	if s == nil {
+		return fmt.Errorf("mcs: write to entity %q without an exclusive-lock stack", entity)
+	}
+	c.write(s, v)
+	return nil
+}
+
+// WriteLocal records a write of v to a local variable.
+func (c *Copies) WriteLocal(name string, v int64) error {
+	s := c.locals[name]
+	if s == nil {
+		return fmt.Errorf("mcs: write to undeclared local %q", name)
+	}
+	c.write(s, v)
+	return nil
+}
+
+func (c *Copies) write(s *stack, v int64) {
+	if t := s.top(); t.lockIndex == c.lockIndex {
+		t.value = v
+	} else {
+		s.elems = append(s.elems, elem{value: v, lockIndex: c.lockIndex})
+	}
+	c.notePeak()
+}
+
+// EntityValue returns the current local-copy value of an exclusively
+// locked entity.
+func (c *Copies) EntityValue(entity string) (int64, bool) {
+	s := c.entities[entity]
+	if s == nil {
+		return 0, false
+	}
+	return s.top().value, true
+}
+
+// LocalValue returns the current value of a local variable.
+func (c *Copies) LocalValue(name string) (int64, bool) {
+	s := c.locals[name]
+	if s == nil {
+		return 0, false
+	}
+	return s.top().value, true
+}
+
+// Locals returns a snapshot of current local-variable values.
+func (c *Copies) Locals() map[string]int64 {
+	out := make(map[string]int64, len(c.locals))
+	for name, s := range c.locals {
+		out[name] = s.top().value
+	}
+	return out
+}
+
+// OnUnlock discards the stack for entity (its top value has been
+// installed globally by the caller). Per the paper's model the
+// transaction is never rolled back after its first unlock, so the
+// stack is simply returned to free storage.
+func (c *Copies) OnUnlock(entity string) {
+	delete(c.entities, entity)
+}
+
+// Rollback restores the MCS state to lock state q: stacks of entities
+// locked at or after q are deleted (the caller releases those locks),
+// and elements with lock index > q are popped everywhere else. It
+// returns the names of the entity stacks deleted, sorted.
+func (c *Copies) Rollback(q int) []string {
+	if q < 0 || q > c.lockIndex {
+		panic(fmt.Sprintf("mcs: rollback to lock state %d outside [0, %d]", q, c.lockIndex))
+	}
+	var dropped []string
+	for name, s := range c.entities {
+		if s.index >= q {
+			delete(c.entities, name)
+			dropped = append(dropped, name)
+		}
+	}
+	for _, s := range c.entities {
+		c.pop(s, q)
+	}
+	for _, s := range c.locals {
+		c.pop(s, q)
+	}
+	c.lockIndex = q
+	sort.Strings(dropped)
+	return dropped
+}
+
+func (c *Copies) pop(s *stack, q int) {
+	for len(s.elems) > 1 && s.top().lockIndex > q {
+		s.elems = s.elems[:len(s.elems)-1]
+	}
+}
+
+// SpaceUsed returns the current number of stack elements held for
+// global entities and for local variables.
+func (c *Copies) SpaceUsed() (entityElems, localElems int) {
+	for _, s := range c.entities {
+		entityElems += len(s.elems)
+	}
+	for _, s := range c.locals {
+		localElems += len(s.elems)
+	}
+	return entityElems, localElems
+}
+
+// PeakSpace returns the high-water marks of SpaceUsed over the
+// transaction's lifetime, for checking Theorem 3's n(n+1)/2 and n·|L|
+// bounds.
+func (c *Copies) PeakSpace() (entityElems, localElems int) {
+	return c.peakEntityElems, c.peakLocalElems
+}
+
+func (c *Copies) notePeak() {
+	e, l := c.SpaceUsed()
+	if e > c.peakEntityElems {
+		c.peakEntityElems = e
+	}
+	if l > c.peakLocalElems {
+		c.peakLocalElems = l
+	}
+}

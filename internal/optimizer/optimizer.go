@@ -1,0 +1,241 @@
+// Package optimizer implements the compile-time transaction
+// optimization §5 anticipates: "These relationships between the
+// structure of transactions and their efficiency ... raise interesting
+// possibilities for the optimization of transactions ... perhaps at the
+// time of their compilation."
+//
+// ClusterWrites rewrites a program so its entity writes execute as late
+// as data dependencies allow — after the final lock request when
+// possible, yielding the three-phase acquire/update/release form whose
+// lock states are all well-defined under the single-copy strategy. The
+// transformation is conservative: a write moves only when doing so
+// provably preserves the program's semantics when run alone (and hence,
+// by serializability, in any execution).
+package optimizer
+
+import (
+	"fmt"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+)
+
+// Result reports one transformation.
+type Result struct {
+	// Program is the rewritten program (the original if nothing moved).
+	Program *txn.Program
+	// MovedWrites counts entity writes relocated after the last lock;
+	// MovedComputes counts relocated local assignments (rollback tracks
+	// locals too, so a cross-interval accumulator is as damaging as a
+	// scattered entity write).
+	MovedWrites   int
+	MovedComputes int
+	// KeptWrites counts entity writes left in place (a later operation
+	// depends on them or on their operands).
+	KeptWrites int
+}
+
+// dest returns the op's assignment target ("e:" entity or "l:" local),
+// or "" if it assigns nothing movable-relevant.
+func dest(op txn.Op) string {
+	switch op.Kind {
+	case txn.OpWrite:
+		return "e:" + op.Entity
+	case txn.OpCompute, txn.OpRead:
+		return "l:" + op.Local
+	}
+	return ""
+}
+
+// reads returns the set of targets the op reads.
+func reads(op txn.Op) map[string]bool {
+	out := map[string]bool{}
+	switch op.Kind {
+	case txn.OpWrite, txn.OpCompute:
+		for _, r := range op.Expr.Refs(nil) {
+			out["l:"+r] = true
+		}
+	case txn.OpRead:
+		out["e:"+op.Entity] = true
+	}
+	return out
+}
+
+// ClusterWrites moves every eligible Write and Compute after the
+// program's final lock request and inserts a DeclareLastLock before the
+// moved block, preserving semantics:
+//
+//   - programs containing Unlock are left untouched (the installed
+//     value must be final at unlock time, pinning write positions);
+//   - Read operations never move (their value depends on global/copy
+//     state at their position);
+//   - an op may move only if every later reader and writer of its
+//     destination also moves (otherwise they would observe or override
+//     the wrong value), and no *kept* later op assigns one of its
+//     operands (moved assigners retain their relative order in the
+//     tail, so they are safe);
+//   - all writers of a destination move together or not at all: a Read
+//     pins every Compute into its local, and a kept early write pins
+//     later ones. This keeps the transformation *monotone* — each
+//     target's writes end up either unchanged or confined to the final
+//     lock interval, so the set of destroyed lock states can only
+//     shrink (a property the fuzzer checks).
+//
+// The rules form a shrinking fixed point: start with all Writes and
+// Computes eligible and remove violators until stable.
+func ClusterWrites(p *txn.Program) (Result, error) {
+	if err := txn.Validate(p); err != nil {
+		return Result{}, fmt.Errorf("optimizer: %w", err)
+	}
+	for _, op := range p.Ops {
+		if op.Kind == txn.OpUnlock {
+			return Result{Program: p, KeptWrites: countWrites(p)}, nil
+		}
+	}
+
+	n := len(p.Ops)
+	movable := make([]bool, n)
+	for i, op := range p.Ops {
+		movable[i] = op.Kind == txn.OpWrite || op.Kind == txn.OpCompute
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !movable[i] {
+				continue
+			}
+			op := p.Ops[i]
+			d := dest(op)
+			operands := reads(op)
+			ok := true
+			for j := i + 1; j < n && ok; j++ {
+				later := p.Ops[j]
+				laterDest := dest(later)
+				laterReads := reads(later)
+				if !movable[j] {
+					// A kept later op must not read or rewrite our
+					// destination, nor assign our operands.
+					if laterReads[d] || laterDest == d || operands[laterDest] {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				movable[i] = false
+				changed = true
+			}
+		}
+		// All-or-nothing per destination: if any writer of a target is
+		// pinned (including Reads, which never move), pin them all.
+		pinned := map[string]bool{}
+		for i, op := range p.Ops {
+			if d := dest(op); d != "" && !movable[i] {
+				pinned[d] = true
+			}
+		}
+		for i, op := range p.Ops {
+			if d := dest(op); d != "" && movable[i] && pinned[d] {
+				movable[i] = false
+				changed = true
+			}
+		}
+	}
+
+	res := Result{}
+	var kept, tail []txn.Op
+	for i, op := range p.Ops {
+		switch {
+		case op.Kind == txn.OpCommit || op.Kind == txn.OpDeclareLastLock:
+			// Re-appended below.
+		case movable[i]:
+			tail = append(tail, op)
+			if op.Kind == txn.OpWrite {
+				res.MovedWrites++
+			} else {
+				res.MovedComputes++
+			}
+		default:
+			if op.Kind == txn.OpWrite {
+				res.KeptWrites++
+			}
+			kept = append(kept, op)
+		}
+	}
+	if res.MovedWrites == 0 && res.MovedComputes == 0 {
+		res.Program = p
+		return res, nil
+	}
+	out := &txn.Program{
+		Name:   p.Name + "+clustered",
+		Locals: map[string]int64{},
+	}
+	for k, v := range p.Locals {
+		out.Locals[k] = v
+	}
+	out.Ops = append(out.Ops, kept...)
+	out.Ops = append(out.Ops, txn.Op{Kind: txn.OpDeclareLastLock})
+	out.Ops = append(out.Ops, tail...)
+	out.Ops = append(out.Ops, txn.Op{Kind: txn.OpCommit})
+	if err := txn.Validate(out); err != nil {
+		return Result{}, fmt.Errorf("optimizer: transformed program invalid: %w", err)
+	}
+	res.Program = out
+	return res, nil
+}
+
+func countWrites(p *txn.Program) int {
+	n := 0
+	for _, op := range p.Ops {
+		if op.Kind == txn.OpWrite {
+			n++
+		}
+	}
+	return n
+}
+
+// Equivalent runs both programs alone on fresh stores (from newStore)
+// and reports whether they leave identical database states — the
+// single-transaction semantic-preservation check. By the engine's
+// serializability guarantee, solo equivalence extends to every
+// concurrent execution.
+func Equivalent(a, b *txn.Program, newStore func() *entity.Store) (bool, error) {
+	snapA, err := runAlone(a, newStore())
+	if err != nil {
+		return false, err
+	}
+	snapB, err := runAlone(b, newStore())
+	if err != nil {
+		return false, err
+	}
+	if len(snapA) != len(snapB) {
+		return false, nil
+	}
+	for k, v := range snapA {
+		if snapB[k] != v {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func runAlone(p *txn.Program, store *entity.Store) (map[string]int64, error) {
+	s := core.New(core.Config{Store: store, Strategy: core.Total})
+	id, err := s.Register(p.Clone())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 1_000_000; i++ {
+		res, err := s.Step(id)
+		if err != nil {
+			return nil, err
+		}
+		if res.Outcome == core.Committed {
+			return store.Snapshot(), nil
+		}
+		if res.Outcome != core.Progressed {
+			return nil, fmt.Errorf("optimizer: solo run blocked (%v)", res.Outcome)
+		}
+	}
+	return nil, fmt.Errorf("optimizer: solo run did not terminate")
+}

@@ -1,0 +1,120 @@
+// Package render produces the ASCII depictions of concurrency graphs
+// and state-dependency graphs used by cmd/prfigures, in the paper's
+// holder -> waiter arc orientation.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"partialrollback/internal/txn"
+	"partialrollback/internal/waitfor"
+)
+
+// ConcurrencyGraph renders wait-for arcs as the paper draws them: an
+// arc labeled with the contested entity from the holding transaction to
+// the waiting one, plus a cycle summary.
+func ConcurrencyGraph(title string, arcs []waitfor.Arc, names func(txn.ID) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(arcs) == 0 {
+		b.WriteString("  (no waits)\n")
+		return b.String()
+	}
+	sorted := append([]waitfor.Arc(nil), arcs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, c := sorted[i], sorted[j]
+		if a.Holder != c.Holder {
+			return a.Holder < c.Holder
+		}
+		if a.Waiter != c.Waiter {
+			return a.Waiter < c.Waiter
+		}
+		return a.Entity < c.Entity
+	})
+	name := func(id txn.ID) string {
+		if names != nil {
+			if n := names(id); n != "" {
+				return n
+			}
+		}
+		return id.String()
+	}
+	for _, a := range sorted {
+		fmt.Fprintf(&b, "  %s --%s--> %s   (%s waits to lock %s, held by %s)\n",
+			name(a.Holder), a.Entity, name(a.Waiter), name(a.Waiter), a.Entity, name(a.Holder))
+	}
+	return b.String()
+}
+
+// StateDependencyGraph renders lock states 0..n as a chain with write
+// interval edges drawn beneath, and marks the well-defined states.
+func StateDependencyGraph(title string, n int, intervals [][2]int, wellDefined []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  states: ", title)
+	wd := map[int]bool{}
+	for _, q := range wellDefined {
+		wd[q] = true
+	}
+	for q := 0; q <= n; q++ {
+		if q > 0 {
+			b.WriteString("--")
+		}
+		if wd[q] {
+			fmt.Fprintf(&b, "[%d]", q)
+		} else {
+			fmt.Fprintf(&b, " %d ", q)
+		}
+	}
+	b.WriteString("   ([q] = well-defined)\n")
+	sort.Slice(intervals, func(i, j int) bool {
+		if intervals[i][0] != intervals[j][0] {
+			return intervals[i][0] < intervals[j][0]
+		}
+		return intervals[i][1] < intervals[j][1]
+	})
+	for _, iv := range intervals {
+		fmt.Fprintf(&b, "  write edge {%d,%d}: destroys states %d..%d\n",
+			iv[0]-1, iv[1], iv[0], iv[1]-1)
+	}
+	if len(intervals) == 0 {
+		b.WriteString("  (no write intervals: every lock state is well-defined)\n")
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns; header then rows.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"partialrollback/internal/txn"
+	"partialrollback/internal/waitfor"
+)
+
+func TestConcurrencyGraphOrientation(t *testing.T) {
+	arcs := []waitfor.Arc{
+		{Waiter: 3, Holder: 2, Entity: "b"},
+		{Waiter: 2, Holder: 4, Entity: "e"},
+	}
+	out := ConcurrencyGraph("G", arcs, nil)
+	// Paper orientation: holder --entity--> waiter.
+	if !strings.Contains(out, "T2 --b--> T3") {
+		t.Errorf("missing holder->waiter arc:\n%s", out)
+	}
+	if !strings.Contains(out, "T4 --e--> T2") {
+		t.Errorf("missing second arc:\n%s", out)
+	}
+	named := ConcurrencyGraph("G", arcs, func(id txn.ID) string {
+		if id == 3 {
+			return "reader"
+		}
+		return ""
+	})
+	if !strings.Contains(named, "reader") {
+		t.Error("names function ignored")
+	}
+	empty := ConcurrencyGraph("G", nil, nil)
+	if !strings.Contains(empty, "no waits") {
+		t.Error("empty graph text")
+	}
+}
+
+func TestStateDependencyGraph(t *testing.T) {
+	out := StateDependencyGraph("SDG", 4, [][2]int{{1, 3}}, []int{0, 3, 4})
+	if !strings.Contains(out, "[0]") || !strings.Contains(out, "[3]") || !strings.Contains(out, "[4]") {
+		t.Errorf("well-defined markers missing:\n%s", out)
+	}
+	if strings.Contains(out, "[1]") || strings.Contains(out, "[2]") {
+		t.Errorf("destroyed states marked well-defined:\n%s", out)
+	}
+	if !strings.Contains(out, "destroys states 1..2") {
+		t.Errorf("interval description missing:\n%s", out)
+	}
+	clean := StateDependencyGraph("SDG", 2, nil, []int{0, 1, 2})
+	if !strings.Contains(clean, "every lock state is well-defined") {
+		t.Error("no-interval text")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"col", "count"}, [][]string{{"a", "1"}, {"longer", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) > width+2 {
+			t.Errorf("ragged line %d: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("separator missing")
+	}
+}

@@ -1,0 +1,143 @@
+// Package runtime drives a core.System with one goroutine per
+// transaction — the "transactions are concurrently executing programs"
+// view of the paper's model, realized with Go's native concurrency.
+// Transactions step themselves; blocked ones park on a wakeup channel
+// signalled when the engine grants their lock or rolls them back
+// (either way they become runnable again).
+//
+// The deterministic drivers in internal/sim are preferred for
+// experiments; this driver exists to exercise the engine under real
+// scheduler interleavings (tests run it with -race) and to serve as the
+// template for embedding the library in a concurrent application.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/hybrid"
+	"partialrollback/internal/txn"
+)
+
+// Options configures a concurrent run.
+type Options struct {
+	Strategy core.Strategy
+	Policy   deadlock.Policy
+	// Prevention optionally enables §3.3 timestamp rules.
+	Prevention core.Prevention
+	// RecordHistory enables the serializability recorder.
+	RecordHistory bool
+	// HybridBudget / HybridAllocator configure the Hybrid strategy.
+	HybridBudget    int
+	HybridAllocator hybrid.Allocator
+	// MaxStepsPerTxn bounds each transaction's total steps (0: 1M).
+	MaxStepsPerTxn int
+}
+
+// Outcome reports a completed concurrent run.
+type Outcome struct {
+	System *core.System
+	Stats  core.Stats
+	IDs    []txn.ID
+}
+
+// Run executes all programs concurrently to commit and returns the
+// engine for inspection. It fails if any transaction errors or exceeds
+// its step bound.
+func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, error) {
+	maxSteps := opt.MaxStepsPerTxn
+	if maxSteps == 0 {
+		maxSteps = 1_000_000
+	}
+
+	var mu sync.Mutex
+	wake := map[txn.ID]chan struct{}{}
+	notify := func(id txn.ID) {
+		mu.Lock()
+		ch := wake[id]
+		mu.Unlock()
+		if ch == nil {
+			return
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+
+	sys := core.New(core.Config{
+		Store:           store,
+		Strategy:        opt.Strategy,
+		Policy:          opt.Policy,
+		Prevention:      opt.Prevention,
+		HybridBudget:    opt.HybridBudget,
+		HybridAllocator: opt.HybridAllocator,
+		RecordHistory:   opt.RecordHistory,
+		OnEvent: func(e core.Event) {
+			switch e.Kind {
+			case core.EventGrant, core.EventRollback:
+				notify(e.Txn)
+			}
+		},
+	})
+
+	ids := make([]txn.ID, 0, len(programs))
+	for _, p := range programs {
+		id, err := sys.Register(p)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		wake[id] = make(chan struct{}, 1)
+		mu.Unlock()
+		ids = append(ids, id)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(ids))
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id txn.ID) {
+			defer wg.Done()
+			mu.Lock()
+			ch := wake[id]
+			mu.Unlock()
+			for steps := 0; steps < maxSteps; steps++ {
+				res, err := sys.Step(id)
+				if err != nil {
+					errCh <- fmt.Errorf("runtime: %v: %w", id, err)
+					return
+				}
+				switch res.Outcome {
+				case core.Committed, core.AlreadyCommitted:
+					return
+				case core.Progressed, core.SelfRolledBack:
+					continue
+				case core.Blocked, core.BlockedDeadlock, core.StillWaiting:
+					if st, err := sys.Status(id); err == nil && st == core.StatusRunning {
+						continue // rolled back or granted during the same step
+					}
+					<-ch
+				}
+			}
+			errCh <- fmt.Errorf("runtime: %v exceeded %d steps", id, maxSteps)
+		}(id)
+	}
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if !sys.AllCommitted() {
+		return nil, fmt.Errorf("runtime: run finished with uncommitted transactions")
+	}
+	return &Outcome{System: sys, Stats: sys.Stats(), IDs: ids}, nil
+}

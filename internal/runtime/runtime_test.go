@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/sim"
+)
+
+func bankStore(accounts int, balance int64) *entity.Store {
+	s := entity.NewUniformStore("acct", accounts, balance)
+	names := make([]string, accounts)
+	for i := range names {
+		names[i] = fmt.Sprintf("acct%d", i)
+	}
+	s.AddConstraint(entity.SumConstraint("sum", int64(accounts)*balance, names...))
+	return s
+}
+
+func TestConcurrentBankTransfers(t *testing.T) {
+	for _, strat := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+		t.Run(strat.String(), func(t *testing.T) {
+			const accounts, transfers = 6, 40
+			w := sim.BankingWorkload(accounts, transfers, 1000, 7)
+			store := w.NewStore()
+			out, err := Run(store, w.Programs, Options{Strategy: strat, RecordHistory: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.CheckConsistent(); err != nil {
+				t.Fatal(err)
+			}
+			if out.Stats.Commits != transfers {
+				t.Errorf("commits = %d, want %d", out.Stats.Commits, transfers)
+			}
+			if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentWithPrevention(t *testing.T) {
+	for _, prev := range []core.Prevention{core.WoundWait, core.WaitDie} {
+		t.Run(prev.String(), func(t *testing.T) {
+			w := sim.BankingWorkload(5, 30, 1000, 11)
+			store := w.NewStore()
+			out, err := Run(store, w.Programs, Options{Strategy: core.MCS, Prevention: prev, RecordHistory: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.CheckConsistent(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

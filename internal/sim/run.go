@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/hybrid"
+	"partialrollback/internal/txn"
+)
+
+// Scheduler selects which runnable transaction steps next.
+type Scheduler int
+
+// Schedulers.
+const (
+	// RoundRobin steps transactions in ID order, one operation each per
+	// sweep — maximally interleaved and fully deterministic.
+	RoundRobin Scheduler = iota
+	// RandomPick steps a uniformly random runnable transaction each
+	// tick, seeded for reproducibility.
+	RandomPick
+)
+
+func (s Scheduler) String() string {
+	if s == RandomPick {
+		return "random"
+	}
+	return "round-robin"
+}
+
+// RunConfig configures one deterministic run of a workload.
+type RunConfig struct {
+	Strategy  core.Strategy
+	Policy    deadlock.Policy // nil: deadlock.OrderedMinCost
+	Scheduler Scheduler
+	// Seed drives the RandomPick scheduler.
+	Seed int64
+	// MaxSteps bounds total engine steps (0: 10M) to catch livelock.
+	MaxSteps int64
+	// RecordHistory enables the serializability recorder (slower).
+	RecordHistory bool
+	// Prevention optionally enables a §3.3 timestamp rule instead of
+	// detection.
+	Prevention core.Prevention
+	// HybridBudget / HybridAllocator configure the Hybrid strategy.
+	HybridBudget    int
+	HybridAllocator hybrid.Allocator
+	// StarvationLimit forwards to core.Config.StarvationLimit.
+	StarvationLimit int
+	// CheckInvariants runs the engine's full cross-check after every
+	// step (tests only; very slow).
+	CheckInvariants bool
+	// OnEvent forwards engine events.
+	OnEvent func(core.Event)
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload  string
+	Strategy  core.Strategy
+	Policy    string
+	Scheduler string
+
+	Stats     core.Stats
+	Committed int
+	// Steps is the number of scheduler ticks the run took (makespan).
+	Steps int64
+	// UsefulOps is the operations that survived into commits
+	// (OpsExecuted summed minus OpsLost).
+	UsefulOps int64
+	// TotalOps is all executed operations including discarded ones.
+	TotalOps int64
+	// LostRatio is OpsLost / TotalOps.
+	LostRatio float64
+	// AvgRollbackDepth is OpsLost per rollback.
+	AvgRollbackDepth float64
+	// System is the finished engine, for further inspection.
+	System *core.System
+	// Store is the database the run executed against.
+	Store *entity.Store
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: commits=%d deadlocks=%d rollbacks=%d restarts=%d lost=%d (%.1f%%) avg-depth=%.1f",
+		r.Strategy, r.Policy, r.Committed, r.Stats.Deadlocks, r.Stats.Rollbacks,
+		r.Stats.Restarts, r.Stats.OpsLost, 100*r.LostRatio, r.AvgRollbackDepth)
+}
+
+// Run executes the workload to completion under the given
+// configuration and returns metrics. Identical inputs produce identical
+// results.
+func Run(w Workload, rc RunConfig) (Result, error) {
+	policy := rc.Policy
+	if policy == nil {
+		policy = deadlock.OrderedMinCost{}
+	}
+	maxSteps := rc.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10_000_000
+	}
+	store := w.NewStore()
+	sys := core.New(core.Config{
+		Store:           store,
+		Strategy:        rc.Strategy,
+		Policy:          policy,
+		Prevention:      rc.Prevention,
+		HybridBudget:    rc.HybridBudget,
+		HybridAllocator: rc.HybridAllocator,
+		StarvationLimit: rc.StarvationLimit,
+		RecordHistory:   rc.RecordHistory,
+		OnEvent:         rc.OnEvent,
+	})
+	ids := make([]txn.ID, 0, len(w.Programs))
+	for _, p := range w.Programs {
+		id, err := sys.Register(p)
+		if err != nil {
+			return Result{}, err
+		}
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(rc.Seed))
+	var steps int64
+	for !sys.AllCommitted() {
+		if steps >= maxSteps {
+			return Result{}, fmt.Errorf("sim: exceeded %d steps on %s (%v/%s)", maxSteps, w.Name, rc.Strategy, policy.Name())
+		}
+		runnable := sys.Runnable()
+		if len(runnable) == 0 {
+			return Result{}, fmt.Errorf("sim: no runnable transactions but not all committed on %s", w.Name)
+		}
+		switch rc.Scheduler {
+		case RandomPick:
+			id := runnable[rng.Intn(len(runnable))]
+			if _, err := sys.Step(id); err != nil {
+				return Result{}, err
+			}
+			steps++
+			if rc.CheckInvariants {
+				if err := sys.CheckInvariants(); err != nil {
+					return Result{}, err
+				}
+			}
+		default: // RoundRobin
+			for _, id := range runnable {
+				if _, err := sys.Step(id); err != nil {
+					return Result{}, err
+				}
+				steps++
+				if rc.CheckInvariants {
+					if err := sys.CheckInvariants(); err != nil {
+						return Result{}, err
+					}
+				}
+			}
+		}
+	}
+	if err := store.CheckConsistent(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s left inconsistent state: %w", w.Name, err)
+	}
+	stats := sys.Stats()
+	var totalOps int64
+	for _, id := range ids {
+		totalOps += sys.TxnStatsOf(id).OpsExecuted
+	}
+	res := Result{
+		Workload:  w.Name,
+		Steps:     steps,
+		Store:     store,
+		Strategy:  rc.Strategy,
+		Policy:    policy.Name(),
+		Scheduler: rc.Scheduler.String(),
+		Stats:     stats,
+		Committed: int(stats.Commits),
+		TotalOps:  totalOps,
+		UsefulOps: totalOps - stats.OpsLost,
+		System:    sys,
+	}
+	if totalOps > 0 {
+		res.LostRatio = float64(stats.OpsLost) / float64(totalOps)
+	}
+	if stats.Rollbacks > 0 {
+		res.AvgRollbackDepth = float64(stats.OpsLost) / float64(stats.Rollbacks)
+	}
+	return res, nil
+}
+
+// CompareStrategies runs the same workload under every strategy with
+// the same scheduler seed and returns the results keyed by strategy —
+// the core comparison of experiment E9.
+func CompareStrategies(w Workload, rc RunConfig) (map[core.Strategy]Result, error) {
+	out := map[core.Strategy]Result{}
+	for _, st := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+		rc := rc
+		rc.Strategy = st
+		res, err := Run(w, rc)
+		if err != nil {
+			return nil, err
+		}
+		out[st] = res
+	}
+	return out, nil
+}

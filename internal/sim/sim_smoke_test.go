@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+
+	"partialrollback/internal/core"
+)
+
+func TestSmokeGeneratedWorkloadAllStrategies(t *testing.T) {
+	w := Generate(GenConfig{
+		Txns: 10, DBSize: 8, HotSet: 4, HotProb: 0.8,
+		LocksPerTxn: 4, RewriteProb: 0.5, Shape: Scattered, Seed: 42,
+	})
+	results, err := CompareStrategies(w, RunConfig{
+		Scheduler: RoundRobin, RecordHistory: true, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st, r := range results {
+		if r.Committed != 10 {
+			t.Errorf("%v: committed %d, want 10", st, r.Committed)
+		}
+		if _, err := r.System.Recorder().CheckSerializable(); err != nil {
+			t.Errorf("%v: %v", st, err)
+		}
+		t.Logf("%v", r)
+	}
+	if results[core.Total].Stats.Deadlocks == 0 {
+		t.Error("expected deadlocks in hot-set workload")
+	}
+}

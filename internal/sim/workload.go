@@ -1,0 +1,287 @@
+// Package sim provides seeded workload generation, deterministic
+// execution drivers, and metrics collection for the experiments in
+// EXPERIMENTS.md. The 1981 paper reports no measured evaluation; this
+// package is the substitution documented in DESIGN.md §2, quantifying
+// the paper's qualitative claims (partial rollback loses less progress
+// than total restart; §5's write clustering and three-phase structure
+// improve the single-copy strategy).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// Workload is a reproducible experiment input: a fresh-store factory
+// plus the transaction programs to run. Store is a factory so different
+// strategies can be compared from identical initial states.
+type Workload struct {
+	Name     string
+	NewStore func() *entity.Store
+	Programs []*txn.Program
+}
+
+// WriteShape controls where a generated transaction places its writes
+// relative to its lock requests (§5's structural dimension).
+type WriteShape int
+
+// Write shapes.
+const (
+	// Scattered interleaves writes to earlier-locked entities between
+	// later lock requests — the worst case for the single-copy
+	// strategy (Figure 4's T1).
+	Scattered WriteShape = iota
+	// Clustered performs all writes to an entity immediately after
+	// locking it (Figure 5's T2).
+	Clustered
+	// ThreePhase defers every write until after a DeclareLastLock
+	// marker: acquisition phase, update phase, release phase (§5).
+	ThreePhase
+	// Mixed alternates Scattered and Clustered per transaction,
+	// modeling a system with both well- and badly-structured programs.
+	Mixed
+)
+
+func (w WriteShape) String() string {
+	switch w {
+	case Scattered:
+		return "scattered"
+	case Clustered:
+		return "clustered"
+	case ThreePhase:
+		return "three-phase"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("WriteShape(%d)", int(w))
+	}
+}
+
+// GenConfig parameterizes random workload generation. All randomness
+// derives from Seed; equal configs generate equal workloads.
+type GenConfig struct {
+	// Txns is the number of transactions.
+	Txns int
+	// DBSize is the number of entities ("e0".."eN-1").
+	DBSize int
+	// InitValue is every entity's initial value.
+	InitValue int64
+	// HotSet and HotProb skew access: each lock targets one of the
+	// first HotSet entities with probability HotProb. HotSet 0 disables
+	// skew.
+	HotSet  int
+	HotProb float64
+	// LocksPerTxn is the number of (distinct) entities each transaction
+	// locks.
+	LocksPerTxn int
+	// SharedProb is the probability a lock is shared rather than
+	// exclusive.
+	SharedProb float64
+	// RewriteProb is the probability, per later lock interval, that an
+	// already-X-locked entity is written again (Scattered shape only);
+	// it controls how badly writes scatter.
+	RewriteProb float64
+	// PadOps inserts this many Compute operations into each lock
+	// interval, padding state indices so rollback costs differ.
+	PadOps int
+	// Shape places writes per §5.
+	Shape WriteShape
+	// Seed drives all generation randomness.
+	Seed int64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Txns == 0 {
+		c.Txns = 8
+	}
+	if c.DBSize == 0 {
+		c.DBSize = 32
+	}
+	if c.LocksPerTxn == 0 {
+		c.LocksPerTxn = 4
+	}
+	if c.PadOps == 0 {
+		c.PadOps = 2
+	}
+	return c
+}
+
+// Generate builds a reproducible random workload.
+func Generate(cfg GenConfig) Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	programs := make([]*txn.Program, 0, cfg.Txns)
+	for i := 0; i < cfg.Txns; i++ {
+		pcfg := cfg
+		if cfg.Shape == Mixed {
+			if i%2 == 0 {
+				pcfg.Shape = Scattered
+			} else {
+				pcfg.Shape = Clustered
+			}
+		}
+		programs = append(programs, genProgram(fmt.Sprintf("G%d", i), pcfg, rng))
+	}
+	init := cfg.InitValue
+	size := cfg.DBSize
+	return Workload{
+		Name:     fmt.Sprintf("gen(txns=%d,db=%d,locks=%d,shape=%s,seed=%d)", cfg.Txns, cfg.DBSize, cfg.LocksPerTxn, cfg.Shape, cfg.Seed),
+		NewStore: func() *entity.Store { return entity.NewUniformStore("e", size, init) },
+		Programs: programs,
+	}
+}
+
+// pickEntities chooses n distinct entities under the hot-set skew.
+func pickEntities(cfg GenConfig, rng *rand.Rand) []string {
+	chosen := map[int]bool{}
+	out := make([]string, 0, cfg.LocksPerTxn)
+	for len(out) < cfg.LocksPerTxn && len(out) < cfg.DBSize {
+		var idx int
+		if cfg.HotSet > 0 && rng.Float64() < cfg.HotProb {
+			idx = rng.Intn(cfg.HotSet)
+		} else {
+			idx = rng.Intn(cfg.DBSize)
+		}
+		if chosen[idx] {
+			continue
+		}
+		chosen[idx] = true
+		out = append(out, fmt.Sprintf("e%d", idx))
+	}
+	return out
+}
+
+// genProgram builds one transaction. Local-variable placement follows
+// the same §5 discipline as entity writes: the single-copy strategy
+// tracks locals too, so a cross-interval accumulator would destroy
+// every lock state regardless of where entity writes sit. Scattered
+// programs therefore thread an accumulator through every interval
+// (worst case); clustered and three-phase programs confine each local
+// to one interval.
+func genProgram(name string, cfg GenConfig, rng *rand.Rand) *txn.Program {
+	entities := pickEntities(cfg, rng)
+	b := txn.NewProgram(name)
+	locals := make([]string, len(entities))
+	scratch := make([]string, len(entities))
+	exclusive := make([]bool, len(entities))
+	for k := range entities {
+		locals[k] = fmt.Sprintf("v%d", k)
+		scratch[k] = fmt.Sprintf("s%d", k)
+		b.Local(locals[k], 0)
+		b.Local(scratch[k], 0)
+		exclusive[k] = rng.Float64() >= cfg.SharedProb
+	}
+	if cfg.Shape == Scattered {
+		b.Local("acc", 0)
+	}
+
+	// pad emits PadOps computes confined to interval k's scratch local.
+	pad := func(k int) {
+		for p := 0; p < cfg.PadOps; p++ {
+			b.Compute(scratch[k], value.Add(value.L(scratch[k]), value.C(1)))
+		}
+	}
+
+	writeOp := func(k int) {
+		// A deterministic, rollback-sensitive update: e_k's new value
+		// depends on the value read from it and on local computation.
+		b.Write(entities[k], value.Add(value.L(locals[k]),
+			value.Add(value.Mod(value.L(scratch[k]), value.C(7)), value.C(1))))
+	}
+
+	for k, e := range entities {
+		if exclusive[k] {
+			b.LockX(e)
+		} else {
+			b.LockS(e)
+		}
+		b.Read(e, locals[k])
+		pad(k)
+		switch cfg.Shape {
+		case Clustered:
+			if exclusive[k] {
+				writeOp(k)
+				writeOp(k) // second write in the same interval: still clustered
+			}
+		case Scattered:
+			// The accumulator threads through every interval — the §5
+			// anti-pattern.
+			b.Compute("acc", value.Add(value.L("acc"), value.L(locals[k])))
+			if exclusive[k] {
+				writeOp(k)
+			}
+			// Rewrite earlier entities, scattering their intervals.
+			for j := 0; j < k; j++ {
+				if exclusive[j] && rng.Float64() < cfg.RewriteProb {
+					writeOp(j)
+				}
+			}
+		}
+	}
+	if cfg.Shape == ThreePhase {
+		b.DeclareLastLock()
+		for k := range entities {
+			if exclusive[k] {
+				writeOp(k)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TransferProgram builds the canonical bank transfer: move amount from
+// one account entity to another, exclusively locking both.
+func TransferProgram(name, from, to string, amount int64, padOps int) *txn.Program {
+	b := txn.NewProgram(name).
+		Local("x", 0).Local("y", 0).Local("pad", 0).
+		LockX(from).
+		Read(from, "x")
+	for i := 0; i < padOps; i++ {
+		b.Compute("pad", value.Add(value.L("pad"), value.C(1)))
+	}
+	return b.
+		LockX(to).
+		Read(to, "y").
+		Write(from, value.Sub(value.L("x"), value.C(amount))).
+		Write(to, value.Add(value.L("y"), value.C(amount))).
+		MustBuild()
+}
+
+// BankingWorkload generates transfers over accounts with a uniform
+// random (seeded) choice of endpoints; the sum of all accounts is an
+// invariant checked by the store.
+func BankingWorkload(accounts, transfers int, initBalance int64, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	programs := make([]*txn.Program, 0, transfers)
+	for i := 0; i < transfers; i++ {
+		from := rng.Intn(accounts)
+		to := rng.Intn(accounts - 1)
+		if to >= from {
+			to++
+		}
+		programs = append(programs, TransferProgram(
+			fmt.Sprintf("xfer%d", i),
+			fmt.Sprintf("acct%d", from),
+			fmt.Sprintf("acct%d", to),
+			int64(1+rng.Intn(10)),
+			rng.Intn(4),
+		))
+	}
+	return Workload{
+		Name: fmt.Sprintf("banking(accounts=%d,transfers=%d,seed=%d)", accounts, transfers, seed),
+		NewStore: func() *entity.Store {
+			s := entity.NewUniformStore("acct", accounts, initBalance)
+			names := make([]string, accounts)
+			for i := range names {
+				names[i] = fmt.Sprintf("acct%d", i)
+			}
+			s.AddConstraint(entity.SumConstraint("balance-sum", int64(accounts)*initBalance, names...))
+			return s
+		},
+		Programs: programs,
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace records engine event streams in a line-oriented JSON
+// format, supports replay validation (a re-run must produce the
+// identical stream — the engine is deterministic under a deterministic
+// driver), and computes summary statistics used by the experiment
+// reports (rollback-depth histograms and percentiles).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/txn"
+)
+
+// Record is one serialized engine event.
+type Record struct {
+	Seq    int64  `json:"seq"`
+	Kind   string `json:"kind"`
+	Txn    int    `json:"txn"`
+	Entity string `json:"entity,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Rollback fields.
+	FromState   int64 `json:"fromState,omitempty"`
+	ToState     int64 `json:"toState,omitempty"`
+	Lost        int64 `json:"lost,omitempty"`
+	ToLockState int   `json:"toLockState,omitempty"`
+	// Deadlock fields.
+	Requester int     `json:"requester,omitempty"`
+	Cycles    [][]int `json:"cycles,omitempty"`
+	Victims   []int   `json:"victims,omitempty"`
+}
+
+// FromEvent converts an engine event.
+func FromEvent(seq int64, e core.Event) Record {
+	r := Record{
+		Seq:         seq,
+		Kind:        e.Kind.String(),
+		Txn:         int(e.Txn),
+		Entity:      e.Entity,
+		Detail:      e.Detail,
+		FromState:   e.FromState,
+		ToState:     e.ToState,
+		Lost:        e.Lost,
+		ToLockState: e.ToLockState,
+	}
+	if d := e.Deadlock; d != nil {
+		r.Requester = int(d.Requester)
+		for _, c := range d.Cycles {
+			cycle := make([]int, len(c))
+			for i, id := range c {
+				cycle[i] = int(id)
+			}
+			r.Cycles = append(r.Cycles, cycle)
+		}
+		for _, v := range d.Victims {
+			r.Victims = append(r.Victims, int(v.Txn))
+		}
+	}
+	return r
+}
+
+// Recorder collects records; optionally streaming them to w as JSON
+// lines.
+type Recorder struct {
+	seq     int64
+	records []Record
+	w       io.Writer
+	err     error
+}
+
+// NewRecorder creates a Recorder; w may be nil to record in memory
+// only.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: w}
+}
+
+// Hook returns the core.Config.OnEvent function feeding this recorder.
+func (r *Recorder) Hook() func(core.Event) {
+	return func(e core.Event) {
+		r.seq++
+		rec := FromEvent(r.seq, e)
+		r.records = append(r.records, rec)
+		if r.w != nil && r.err == nil {
+			b, err := json.Marshal(rec)
+			if err == nil {
+				_, err = fmt.Fprintf(r.w, "%s\n", b)
+			}
+			if err != nil {
+				r.err = err
+			}
+		}
+	}
+}
+
+// Records returns the captured records (shared slice; read-only).
+func (r *Recorder) Records() []Record { return r.records }
+
+// Err returns any streaming write error.
+func (r *Recorder) Err() error { return r.err }
+
+// Read parses a JSON-lines trace.
+func Read(rd io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Diff compares two traces and returns a description of the first
+// divergence, or "" if identical.
+func Diff(a, b []Record) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ja, _ := json.Marshal(a[i])
+		jb, _ := json.Marshal(b[i])
+		if string(ja) != string(jb) {
+			return fmt.Sprintf("record %d differs:\n  a: %s\n  b: %s", i, ja, jb)
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	return ""
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Events    int
+	Grants    int
+	Waits     int
+	Deadlocks int
+	Rollbacks int
+	Commits   int
+	// Depths are the individual rollback losses, sorted.
+	Depths []int64
+	// PerTxnRollbacks counts rollbacks by transaction.
+	PerTxnRollbacks map[txn.ID]int
+}
+
+// Summarize computes the Summary of a trace.
+func Summarize(records []Record) Summary {
+	s := Summary{PerTxnRollbacks: map[txn.ID]int{}}
+	for _, r := range records {
+		s.Events++
+		switch r.Kind {
+		case "grant":
+			s.Grants++
+		case "wait":
+			s.Waits++
+		case "deadlock":
+			s.Deadlocks++
+		case "rollback":
+			s.Rollbacks++
+			s.Depths = append(s.Depths, r.Lost)
+			s.PerTxnRollbacks[txn.ID(r.Txn)]++
+		case "commit":
+			s.Commits++
+		}
+	}
+	sort.Slice(s.Depths, func(i, j int) bool { return s.Depths[i] < s.Depths[j] })
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of the rollback
+// depths, or 0 if none.
+func (s Summary) Percentile(p float64) int64 {
+	if len(s.Depths) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Depths[0]
+	}
+	if p >= 100 {
+		return s.Depths[len(s.Depths)-1]
+	}
+	idx := int(p / 100 * float64(len(s.Depths)-1))
+	return s.Depths[idx]
+}
+
+// Histogram buckets the rollback depths into the given boundaries
+// (bucket i counts depths in (bounds[i-1], bounds[i]]; the first bucket
+// is [0, bounds[0]], a final overflow bucket catches the rest).
+func (s Summary) Histogram(bounds []int64) []int {
+	counts := make([]int, len(bounds)+1)
+	for _, d := range s.Depths {
+		placed := false
+		for i, b := range bounds {
+			if d <= b {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(bounds)]++
+		}
+	}
+	return counts
+}

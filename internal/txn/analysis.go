@@ -1,0 +1,193 @@
+package txn
+
+import "sort"
+
+// LockRequest describes one lock request site in a program.
+type LockRequest struct {
+	// OpIndex is the position of the request in Program.Ops.
+	OpIndex int
+	// Entity is the requested entity.
+	Entity string
+	// Exclusive is true for LockX.
+	Exclusive bool
+	// LockIndex is the number of lock requests strictly before this
+	// one; equivalently, the index of the lock state immediately
+	// preceding the request (paper §4).
+	LockIndex int
+}
+
+// Analysis holds static facts about a program used by the rollback
+// machinery and by the §5 structure experiments.
+type Analysis struct {
+	// Requests lists the program's lock requests in order; the k-th
+	// entry has LockIndex k.
+	Requests []LockRequest
+	// LockIndexOf[i] is the lock index of Ops[i]: the number of lock
+	// requests strictly before op i.
+	LockIndexOf []int
+	// EntityLockIndex maps each locked entity to the LockIndex of its
+	// request.
+	EntityLockIndex map[string]int
+	// FirstWriteLockIndex maps each written target (entity or local) to
+	// the lock index of its first write; the paper's index of
+	// restorability is this minus one.
+	FirstWriteLockIndex map[string]int
+	// WriteLockIndexes maps each written target to the sorted distinct
+	// lock indexes at which it is written.
+	WriteLockIndexes map[string][]int
+}
+
+// Analyze computes the static Analysis for p. The program is assumed
+// valid (see Validate).
+func Analyze(p *Program) *Analysis {
+	a := &Analysis{
+		LockIndexOf:         make([]int, len(p.Ops)),
+		EntityLockIndex:     map[string]int{},
+		FirstWriteLockIndex: map[string]int{},
+		WriteLockIndexes:    map[string][]int{},
+	}
+	li := 0
+	for i, o := range p.Ops {
+		a.LockIndexOf[i] = li
+		switch o.Kind {
+		case OpLockS, OpLockX:
+			a.Requests = append(a.Requests, LockRequest{
+				OpIndex:   i,
+				Entity:    o.Entity,
+				Exclusive: o.Kind == OpLockX,
+				LockIndex: li,
+			})
+			a.EntityLockIndex[o.Entity] = li
+			li++
+		case OpWrite:
+			a.noteWrite(o.Entity, li)
+		case OpRead:
+			// A read assigns its destination local: it is a local write
+			// for rollback purposes.
+			a.noteWrite(o.Local, li)
+		case OpCompute:
+			a.noteWrite(o.Local, li)
+		}
+	}
+	for _, idxs := range a.WriteLockIndexes {
+		sort.Ints(idxs)
+	}
+	return a
+}
+
+func (a *Analysis) noteWrite(target string, li int) {
+	if _, ok := a.FirstWriteLockIndex[target]; !ok {
+		a.FirstWriteLockIndex[target] = li
+	}
+	idxs := a.WriteLockIndexes[target]
+	if n := len(idxs); n == 0 || idxs[n-1] != li {
+		a.WriteLockIndexes[target] = append(idxs, li)
+	}
+}
+
+// NumLocks returns the number of lock requests in the program.
+func (a *Analysis) NumLocks() int { return len(a.Requests) }
+
+// RestorabilityIndex returns the paper's index of restorability for the
+// given write target: the lock index of the last lock state preceding
+// its first write, i.e. FirstWriteLockIndex-1. The second result is
+// false if the target is never written (every state is restorable for
+// it).
+func (a *Analysis) RestorabilityIndex(target string) (int, bool) {
+	u, ok := a.FirstWriteLockIndex[target]
+	if !ok {
+		return 0, false
+	}
+	return u - 1, true
+}
+
+// StaticWellDefined reports, for the completed program (all n lock
+// requests executed), which lock states q in [0, n] are well defined
+// under the single-copy (state-dependency-graph) strategy: q is
+// undefined iff some target has first write at lock index u <= q and a
+// later write at lock index j > q (Theorem 4 with the half-open write
+// intervals derived in DESIGN.md §2).
+func (a *Analysis) StaticWellDefined() []bool {
+	n := a.NumLocks()
+	wd := make([]bool, n+1)
+	for q := range wd {
+		wd[q] = true
+	}
+	for _, idxs := range a.WriteLockIndexes {
+		if len(idxs) == 0 {
+			continue
+		}
+		u := idxs[0]
+		j := idxs[len(idxs)-1]
+		// States q with u <= q < j are destroyed.
+		for q := u; q < j && q <= n; q++ {
+			if q >= 0 {
+				wd[q] = false
+			}
+		}
+	}
+	return wd
+}
+
+// WellDefinedCount returns how many of the n+1 lock states of the
+// completed program are well defined (including the trivial state 0).
+func (a *Analysis) WellDefinedCount() int {
+	count := 0
+	for _, ok := range a.StaticWellDefined() {
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// ClusteringIndex measures how tightly a program clusters its writes
+// per target (§5): it returns the total number of destroyed lock
+// states, summed over write targets. Zero means perfectly clustered
+// (every target's writes fall within one lock interval); larger values
+// mean writes are scattered across lock states.
+func (a *Analysis) ClusteringIndex() int {
+	total := 0
+	for _, idxs := range a.WriteLockIndexes {
+		if len(idxs) > 1 {
+			total += idxs[len(idxs)-1] - idxs[0]
+		}
+	}
+	return total
+}
+
+// IsThreePhase reports whether the program has the §5 three-phase
+// structure: an acquisition phase (lock requests, reads into locals),
+// then DeclareLastLock, then an update phase in which every *entity*
+// write occurs (§5: "waits to perform write operations to any entity
+// until after it performs its last lock request"), then the release
+// phase. Reads during acquisition assign locals and are permitted.
+func IsThreePhase(p *Program) bool {
+	a := Analyze(p)
+	n := a.NumLocks()
+	declared := false
+	li := 0
+	for _, o := range p.Ops {
+		switch o.Kind {
+		case OpDeclareLastLock:
+			declared = true
+		case OpLockS, OpLockX:
+			li++
+		case OpWrite:
+			if li != n || !declared {
+				return false
+			}
+		}
+	}
+	return declared
+}
+
+// LockSet returns the entities locked by the program, sorted.
+func (a *Analysis) LockSet() []string {
+	out := make([]string, 0, len(a.EntityLockIndex))
+	for e := range a.EntityLockIndex {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}

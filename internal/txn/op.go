@@ -1,0 +1,134 @@
+// Package txn defines transaction programs for the partial-rollback
+// concurrency control: sequences of atomic operations over global
+// entities and local variables, as in §2 of Fussell, Kedem &
+// Silberschatz (SIGMOD 1981).
+//
+// A program is static and re-executable: running the same prefix from
+// the same starting state always produces the same values. That is what
+// makes rollback (resetting the program counter and restoring state)
+// well defined.
+package txn
+
+import (
+	"fmt"
+
+	"partialrollback/internal/value"
+)
+
+// ID identifies a transaction instance registered with a system.
+// Programs are templates; an ID names one execution of a program.
+type ID int
+
+// None is the zero ID, never assigned to a real transaction.
+const None ID = 0
+
+func (id ID) String() string {
+	if id == None {
+		return "T?"
+	}
+	return fmt.Sprintf("T%d", int(id))
+}
+
+// OpKind enumerates the atomic operations a transaction may perform.
+type OpKind int
+
+// Operation kinds. LockS/LockX are the paper's LS/LX lock requests;
+// Unlock begins (or continues) the shrinking phase; Read/Write access a
+// locked entity through the transaction's local copy; Compute updates a
+// local variable; DeclareLastLock is the §5 optimization telling the
+// system no further lock requests will follow; Commit terminates the
+// transaction, installing local copies as new global values and
+// releasing all remaining locks.
+const (
+	OpLockS OpKind = iota
+	OpLockX
+	OpUnlock
+	OpRead
+	OpWrite
+	OpCompute
+	OpDeclareLastLock
+	OpCommit
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLockS:
+		return "LockS"
+	case OpLockX:
+		return "LockX"
+	case OpUnlock:
+		return "Unlock"
+	case OpRead:
+		return "Read"
+	case OpWrite:
+		return "Write"
+	case OpCompute:
+		return "Compute"
+	case OpDeclareLastLock:
+		return "DeclareLastLock"
+	case OpCommit:
+		return "Commit"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// IsLockRequest reports whether the kind is LockS or LockX. Lock
+// requests are the only operations that can block, and the only
+// operations rollback targets sit immediately before.
+func (k OpKind) IsLockRequest() bool { return k == OpLockS || k == OpLockX }
+
+// Op is one atomic operation.
+type Op struct {
+	Kind   OpKind
+	Entity string     // LockS, LockX, Unlock, Read, Write
+	Local  string     // Read destination; Compute destination
+	Expr   value.Expr // Write and Compute source expression
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLockS, OpLockX, OpUnlock:
+		return fmt.Sprintf("%s(%s)", o.Kind, o.Entity)
+	case OpRead:
+		return fmt.Sprintf("Read(%s -> %s)", o.Entity, o.Local)
+	case OpWrite:
+		return fmt.Sprintf("Write(%s <- %s)", o.Entity, o.Expr)
+	case OpCompute:
+		return fmt.Sprintf("Compute(%s <- %s)", o.Local, o.Expr)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Program is an immutable transaction template.
+type Program struct {
+	// Name labels the program in traces and figures (e.g. "T2").
+	Name string
+	// Locals maps each local variable to its initial value.
+	Locals map[string]int64
+	// Ops is the operation sequence. The last operation is always
+	// OpCommit (the builder appends one if missing).
+	Ops []Op
+}
+
+// Clone returns a deep copy safe for independent mutation of Locals.
+// Ops are shared (they are immutable by convention).
+func (p *Program) Clone() *Program {
+	locals := make(map[string]int64, len(p.Locals))
+	for k, v := range p.Locals {
+		locals[k] = v
+	}
+	ops := make([]Op, len(p.Ops))
+	copy(ops, p.Ops)
+	return &Program{Name: p.Name, Locals: locals, Ops: ops}
+}
+
+// String renders the program one operation per line.
+func (p *Program) String() string {
+	s := p.Name + ":\n"
+	for i, op := range p.Ops {
+		s += fmt.Sprintf("  %3d  %s\n", i, op)
+	}
+	return s
+}

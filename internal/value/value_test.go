@@ -1,0 +1,184 @@
+package value
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEval(t *testing.T, e Expr, env Env) int64 {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("%s: %v", e, err)
+	}
+	return v
+}
+
+func TestConstAndLocal(t *testing.T) {
+	env := MapEnv{"x": 7}
+	if got := mustEval(t, C(42), env); got != 42 {
+		t.Errorf("C(42) = %d", got)
+	}
+	if got := mustEval(t, L("x"), env); got != 7 {
+		t.Errorf("L(x) = %d", got)
+	}
+	if _, err := L("missing").Eval(env); !errors.Is(err, ErrUnknownLocal) {
+		t.Errorf("want ErrUnknownLocal, got %v", err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	env := MapEnv{"a": 10, "b": 3}
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Add(L("a"), L("b")), 13},
+		{Sub(L("a"), L("b")), 7},
+		{Mul(L("a"), L("b")), 30},
+		{Div(L("a"), L("b")), 3},
+		{Mod(L("a"), L("b")), 1},
+		{Min(L("a"), L("b")), 3},
+		{Max(L("a"), L("b")), 10},
+		{Add(C(1), Mul(C(2), C(3))), 7},
+		{Sub(C(0), C(5)), -5},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.e, env); got != c.want {
+			t.Errorf("%s = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	env := MapEnv{}
+	for _, e := range []Expr{Div(C(1), C(0)), Mod(C(1), C(0))} {
+		if _, err := e.Eval(env); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("%s: want ErrDivideByZero, got %v", e, err)
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	env := MapEnv{"x": 1}
+	for _, e := range []Expr{
+		Add(L("gone"), C(1)),
+		Add(C(1), L("gone")),
+		Mul(Div(C(1), C(0)), L("x")),
+	} {
+		if _, err := e.Eval(env); err == nil {
+			t.Errorf("%s: want error", e)
+		}
+	}
+}
+
+func TestRefs(t *testing.T) {
+	e := Add(L("a"), Mul(L("b"), Add(C(1), L("a"))))
+	refs := e.Refs(nil)
+	want := map[string]int{"a": 2, "b": 1}
+	got := map[string]int{}
+	for _, r := range refs {
+		got[r]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("ref %q count = %d, want %d", k, got[k], n)
+		}
+	}
+	if len(refs) != 3 {
+		t.Errorf("refs = %v", refs)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Add(L("x"), C(1)), "(x + 1)"},
+		{Min(C(2), L("y")), "min(2, y)"},
+		{Mod(L("a"), C(7)), "(a % 7)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// randomExpr builds a random expression over the given locals.
+func randomExpr(rng *rand.Rand, locals []string, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if len(locals) > 0 && rng.Intn(2) == 0 {
+			return L(locals[rng.Intn(len(locals))])
+		}
+		return C(int64(rng.Intn(100) - 50))
+	}
+	ops := []func(Expr, Expr) Expr{Add, Sub, Mul, Min, Max}
+	op := ops[rng.Intn(len(ops))]
+	return op(randomExpr(rng, locals, depth-1), randomExpr(rng, locals, depth-1))
+}
+
+// TestQuickDeterministic: evaluation is a pure function of the
+// environment — the property rollback re-execution relies on.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(seed int64, a, b, c int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, []string{"a", "b", "c"}, 4)
+		env := MapEnv{"a": a, "b": b, "c": c}
+		v1, err1 := e.Eval(env)
+		v2, err2 := e.Eval(env)
+		return (err1 == nil) == (err2 == nil) && v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRefsComplete: removing any referenced local from the
+// environment makes evaluation fail, and evaluation only depends on
+// referenced locals.
+func TestQuickRefsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, []string{"a", "b"}, 3)
+		full := MapEnv{"a": 5, "b": 9, "unrelated": 1}
+		v1, err := e.Eval(full)
+		if err != nil {
+			return false
+		}
+		// Unreferenced locals don't matter.
+		refs := map[string]bool{}
+		for _, r := range e.Refs(nil) {
+			refs[r] = true
+		}
+		trimmed := MapEnv{}
+		for k, v := range full {
+			if refs[k] {
+				trimmed[k] = v
+			}
+		}
+		v2, err := e.Eval(trimmed)
+		if err != nil || v2 != v1 {
+			return false
+		}
+		// Removing any referenced local fails evaluation.
+		for r := range refs {
+			broken := MapEnv{}
+			for k, v := range trimmed {
+				if k != r {
+					broken[k] = v
+				}
+			}
+			if _, err := e.Eval(broken); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package waitfor maintains the paper's labeled concurrency graph G(T)
+// (§3): an arc exists between T_j and T_i, labeled with entity A, when
+// T_i is waiting to lock A and T_j holds a lock on A.
+//
+// Internally arcs are stored waiter -> holder (the direction a cycle
+// search from the requester follows); the paper draws them holder ->
+// waiter. Rendering code flips the direction and says so.
+//
+// Theorem 1: in an exclusive-lock-only system there is no deadlock at
+// time t iff G(T) is a forest. For shared+exclusive systems the
+// deadlock-free graph is a general acyclic digraph and one wait
+// response may close several cycles at once, all through the requester
+// (§3.2).
+package waitfor
+
+import (
+	"fmt"
+	"sort"
+
+	"partialrollback/internal/graph"
+	"partialrollback/internal/lock"
+	"partialrollback/internal/txn"
+)
+
+// Arc is one wait-for relationship.
+type Arc struct {
+	Waiter, Holder txn.ID
+	Entity         string
+}
+
+func (a Arc) String() string {
+	return fmt.Sprintf("%v -%s-> %v", a.Waiter, a.Entity, a.Holder)
+}
+
+// Graph is the concurrency graph. The zero value is not usable; call
+// New.
+type Graph struct {
+	d *graph.Digraph
+	// labels maps (waiter, holder) to the entities labeling the arc.
+	labels map[[2]txn.ID]map[string]bool
+}
+
+// New returns an empty concurrency graph.
+func New() *Graph {
+	return &Graph{
+		d:      graph.NewDigraph(),
+		labels: map[[2]txn.ID]map[string]bool{},
+	}
+}
+
+// AddTxn ensures the vertex for id exists.
+func (g *Graph) AddTxn(id txn.ID) { g.d.AddNode(int(id)) }
+
+// RemoveTxn deletes id and all incident arcs (commit or restart).
+func (g *Graph) RemoveTxn(id txn.ID) {
+	g.d.RemoveNode(int(id))
+	for key := range g.labels {
+		if key[0] == id || key[1] == id {
+			delete(g.labels, key)
+		}
+	}
+}
+
+// AddWait records that waiter now waits for holder over entity.
+func (g *Graph) AddWait(waiter, holder txn.ID, entity string) {
+	key := [2]txn.ID{waiter, holder}
+	if g.labels[key] == nil {
+		g.labels[key] = map[string]bool{}
+		g.d.AddEdge(int(waiter), int(holder))
+	}
+	g.labels[key][entity] = true
+}
+
+// RemoveWait drops the entity label from the waiter->holder arc,
+// removing the arc when no labels remain.
+func (g *Graph) RemoveWait(waiter, holder txn.ID, entity string) {
+	key := [2]txn.ID{waiter, holder}
+	set := g.labels[key]
+	if set == nil {
+		return
+	}
+	delete(set, entity)
+	if len(set) == 0 {
+		delete(g.labels, key)
+		g.d.RemoveEdge(int(waiter), int(holder))
+	}
+}
+
+// ClearEntityWaits drops the entity label from every outgoing arc of
+// waiter, removing arcs left with no labels. Used when the holder set
+// of the awaited entity changes (release + promotion) and the waiter's
+// arcs must be rebuilt.
+func (g *Graph) ClearEntityWaits(waiter txn.ID, entity string) {
+	for _, h := range g.d.Succ(int(waiter)) {
+		g.RemoveWait(waiter, txn.ID(h), entity)
+	}
+}
+
+// RemoveAllWaitsBy drops every outgoing arc of waiter (its request was
+// granted or retracted).
+func (g *Graph) RemoveAllWaitsBy(waiter txn.ID) {
+	for _, h := range g.d.Succ(int(waiter)) {
+		g.d.RemoveEdge(int(waiter), h)
+		delete(g.labels, [2]txn.ID{waiter, txn.ID(h)})
+	}
+}
+
+// Arcs returns all arcs, sorted by waiter, holder, entity.
+func (g *Graph) Arcs() []Arc {
+	var out []Arc
+	for key, set := range g.labels {
+		for e := range set {
+			out = append(out, Arc{Waiter: key[0], Holder: key[1], Entity: e})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Waiter != b.Waiter {
+			return a.Waiter < b.Waiter
+		}
+		if a.Holder != b.Holder {
+			return a.Holder < b.Holder
+		}
+		return a.Entity < b.Entity
+	})
+	return out
+}
+
+// WaitsFor returns the holders waiter currently waits for, sorted.
+func (g *Graph) WaitsFor(waiter txn.ID) []txn.ID {
+	succ := g.d.Succ(int(waiter))
+	out := make([]txn.ID, len(succ))
+	for i, v := range succ {
+		out[i] = txn.ID(v)
+	}
+	return out
+}
+
+// WaitedOnBy returns the waiters blocked on holder, sorted.
+func (g *Graph) WaitedOnBy(holder txn.ID) []txn.ID {
+	pred := g.d.Pred(int(holder))
+	out := make([]txn.ID, len(pred))
+	for i, v := range pred {
+		out[i] = txn.ID(v)
+	}
+	return out
+}
+
+// Label returns the entities labeling the waiter->holder arc, sorted.
+func (g *Graph) Label(waiter, holder txn.ID) []string {
+	set := g.labels[[2]txn.ID{waiter, holder}]
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasCycle reports whether any directed cycle (deadlock) exists.
+func (g *Graph) HasCycle() bool { return g.d.HasCycle() }
+
+// IsForest reports Theorem 1's condition: the graph, viewed as
+// undirected, is acyclic.
+func (g *Graph) IsForest() bool { return g.d.IsForest() }
+
+// CyclesThrough enumerates the simple cycles containing id, up to
+// limit (limit <= 0: unlimited). Each cycle starts at id.
+func (g *Graph) CyclesThrough(id txn.ID, limit int) [][]txn.ID {
+	raw := g.d.AllCyclesThrough(int(id), limit)
+	out := make([][]txn.ID, len(raw))
+	for i, c := range raw {
+		ids := make([]txn.ID, len(c))
+		for j, v := range c {
+			ids[j] = txn.ID(v)
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// WouldDeadlock reports whether making waiter wait for the given
+// holders would close at least one cycle, i.e. whether waiter is
+// reachable from any holder.
+func (g *Graph) WouldDeadlock(waiter txn.ID, holders []txn.ID) bool {
+	for _, h := range holders {
+		if h == waiter || g.d.PathExists(int(h), int(waiter)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebuild reconstructs the graph from a lock table: for every queued
+// waiter, an arc to each conflicting holder of the awaited entity.
+// Used by tests to cross-check incremental maintenance.
+func Rebuild(t *lock.Table, ids []txn.ID) *Graph {
+	g := New()
+	for _, id := range ids {
+		g.AddTxn(id)
+	}
+	for _, id := range ids {
+		entityName, ok := t.WaitingOn(id)
+		if !ok {
+			continue
+		}
+		var mode lock.Mode = lock.Exclusive
+		for _, w := range t.Queue(entityName) {
+			if w.Txn == id {
+				mode = w.Mode
+			}
+		}
+		for _, h := range t.Holders(entityName) {
+			if h == id {
+				continue
+			}
+			hm, _ := t.ModeOf(h, entityName)
+			if mode == lock.Exclusive || hm == lock.Exclusive {
+				g.AddWait(id, h, entityName)
+			}
+		}
+	}
+	return g
+}
+
+// String renders the arcs one per line in the paper's holder->waiter
+// orientation.
+func (g *Graph) String() string {
+	s := ""
+	for _, a := range g.Arcs() {
+		s += fmt.Sprintf("%v -%s-> %v (holds; waited on by)\n", a.Holder, a.Entity, a.Waiter)
+	}
+	return s
+}

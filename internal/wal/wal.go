@@ -1,0 +1,219 @@
+// Package wal provides the durability substrate a deployed version of
+// the concurrency control needs: an append-only, checksummed log of
+// every value installation. The paper's deferred-update model (§4:
+// global values change only when an entity is unlocked or its
+// transaction commits) gives the log a particularly simple contract —
+// one record per install, no undo information ever required, because
+// uncommitted work lives in per-transaction copies that die with the
+// process.
+//
+// Record format (little endian):
+//
+//	magic   uint16  0x5052 ("PR")
+//	nameLen uint16
+//	name    []byte
+//	value   int64
+//	seq     uint64  monotonically increasing
+//	crc     uint32  IEEE CRC-32 of everything above
+//
+// Recovery replays records in order and stops cleanly at the first
+// torn, corrupt, or out-of-sequence record (crash-truncation
+// semantics).
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"partialrollback/internal/entity"
+)
+
+const magic uint16 = 0x5052
+
+// Record is one logged installation.
+type Record struct {
+	Name  string
+	Value int64
+	Seq   uint64
+}
+
+// ErrCorrupt is wrapped by read errors caused by checksum or framing
+// damage (as opposed to clean EOF).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends records to an io.Writer. Safe for concurrent use.
+type Writer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	n   int64
+}
+
+// NewWriter creates a Writer starting at sequence nextSeq (1 for a
+// fresh log; lastSeq+1 when appending after recovery).
+func NewWriter(w io.Writer, nextSeq uint64) *Writer {
+	if nextSeq == 0 {
+		nextSeq = 1
+	}
+	return &Writer{w: w, seq: nextSeq}
+}
+
+// Append logs one installation and returns its sequence number.
+func (w *Writer) Append(name string, value int64) (uint64, error) {
+	if len(name) > 0xffff {
+		return 0, fmt.Errorf("wal: entity name too long (%d bytes)", len(name))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.seq
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, magic)
+	binary.Write(&buf, binary.LittleEndian, uint16(len(name)))
+	buf.WriteString(name)
+	binary.Write(&buf, binary.LittleEndian, value)
+	binary.Write(&buf, binary.LittleEndian, seq)
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	binary.Write(&buf, binary.LittleEndian, crc)
+	n, err := w.w.Write(buf.Bytes())
+	w.n += int64(n)
+	if err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.seq++
+	return seq, nil
+}
+
+// Seq returns the next sequence number to be written.
+func (w *Writer) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// BytesWritten returns the total bytes appended.
+func (w *Writer) BytesWritten() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Attach registers the writer as the store's install hook so every
+// committed/unlocked value is logged before it becomes visible. The
+// returned error channel receives the first append failure, if any
+// (the store's install path cannot return errors to the engine).
+func (w *Writer) Attach(store *entity.Store) <-chan error {
+	errc := make(chan error, 1)
+	store.SetInstallHook(func(name string, value int64) {
+		if _, err := w.Append(name, value); err != nil {
+			select {
+			case errc <- err:
+			default:
+			}
+		}
+	})
+	return errc
+}
+
+// ReadAll decodes records until EOF or damage. It returns the cleanly
+// read prefix; err is nil on clean EOF, io.ErrUnexpectedEOF for a torn
+// tail, or wraps ErrCorrupt for checksum/framing/sequence damage. In
+// every case the returned records are safe to replay.
+func ReadAll(r io.Reader) ([]Record, error) {
+	br := newByteReader(r)
+	var out []Record
+	var wantSeq uint64 = 1
+	for {
+		var m uint16
+		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, io.ErrUnexpectedEOF
+		}
+		if m != magic {
+			return out, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+		}
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return out, io.ErrUnexpectedEOF
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return out, io.ErrUnexpectedEOF
+		}
+		var value int64
+		if err := binary.Read(br, binary.LittleEndian, &value); err != nil {
+			return out, io.ErrUnexpectedEOF
+		}
+		var seq uint64
+		if err := binary.Read(br, binary.LittleEndian, &seq); err != nil {
+			return out, io.ErrUnexpectedEOF
+		}
+		var gotCRC uint32
+		if err := binary.Read(br, binary.LittleEndian, &gotCRC); err != nil {
+			return out, io.ErrUnexpectedEOF
+		}
+		var check bytes.Buffer
+		binary.Write(&check, binary.LittleEndian, magic)
+		binary.Write(&check, binary.LittleEndian, nameLen)
+		check.Write(name)
+		binary.Write(&check, binary.LittleEndian, value)
+		binary.Write(&check, binary.LittleEndian, seq)
+		if crc32.ChecksumIEEE(check.Bytes()) != gotCRC {
+			return out, fmt.Errorf("%w: checksum mismatch at seq %d", ErrCorrupt, seq)
+		}
+		if seq != wantSeq {
+			return out, fmt.Errorf("%w: sequence gap (got %d, want %d)", ErrCorrupt, seq, wantSeq)
+		}
+		wantSeq++
+		out = append(out, Record{Name: string(name), Value: value, Seq: seq})
+	}
+}
+
+// Recover replays a log over a store holding the initial database
+// state, returning the number of records applied and the next sequence
+// number for an appending Writer. Damage truncates recovery at the last
+// good record; the damage itself is reported so callers can decide
+// whether a torn tail (expected after a crash) or mid-log corruption
+// (not expected) occurred.
+func Recover(r io.Reader, store *entity.Store) (applied int, nextSeq uint64, damage error) {
+	records, err := ReadAll(r)
+	for _, rec := range records {
+		if !store.Exists(rec.Name) {
+			store.Define(rec.Name, rec.Value)
+		} else if ierr := store.Install(rec.Name, rec.Value); ierr != nil {
+			return applied, uint64(applied) + 1, ierr
+		}
+		applied++
+	}
+	return applied, uint64(applied) + 1, err
+}
+
+// byteReader adds ReadByte (required by binary.Read to avoid
+// over-reading) and a consumed-byte count.
+type byteReader struct {
+	r   io.Reader
+	sum int64
+	one [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.sum += int64(n)
+	return n, err
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	b.sum++
+	return b.one[0], nil
+}
