@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	prbench [-exp E9] [-seed 42] [-rounds 10]
+//	prbench [-exp E9] [-seed 42] [-rounds 10] [-json dir]
+//
+// With -json, each experiment's table is additionally written to
+// <dir>/BENCH_<ID>.json (machine-readable: the table plus the run
+// parameters), for diffing runs or feeding plots.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"partialrollback/internal/experiments"
@@ -20,7 +27,37 @@ var (
 	expFlag    = flag.String("exp", "", "comma-separated experiment IDs to run (e.g. E1,E9); empty = all")
 	seedFlag   = flag.Int64("seed", 42, "base seed for randomized sweeps")
 	roundsFlag = flag.Int("rounds", 10, "rounds for the Figure 2 preemption scenario")
+	jsonDir    = flag.String("json", "", "directory to write BENCH_<ID>.json files to (empty = off)")
 )
+
+// benchJSON is the machine-readable form of one experiment run.
+type benchJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Seed   int64      `json:"seed"`
+	Rounds int        `json:"rounds"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+func writeJSON(t *experiments.Table) error {
+	out := benchJSON{
+		ID:     t.ID,
+		Title:  t.Title,
+		Seed:   *seedFlag,
+		Rounds: *roundsFlag,
+		Header: t.Header,
+		Rows:   t.Rows,
+		Notes:  t.Notes,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(*jsonDir, "BENCH_"+t.ID+".json")
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -32,6 +69,11 @@ func main() {
 		}
 	}
 	run := func(id string) bool { return len(want) == 0 || want[id] }
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	type exp struct {
 		id string
@@ -77,5 +119,10 @@ func main() {
 			fmt.Printf("  * %s\n", n)
 		}
 		fmt.Println()
+		if *jsonDir != "" {
+			if err := writeJSON(t); err != nil {
+				log.Fatalf("%s: write json: %v", t.ID, err)
+			}
+		}
 	}
 }

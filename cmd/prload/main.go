@@ -1,0 +1,202 @@
+// Command prload is a closed-loop load generator for cmd/prserver: N
+// client goroutines each run a stream of transactions back-to-back over
+// their own connection, retrying (with jittered backoff) whenever the
+// server rolls their transaction back. It reports throughput, latency
+// percentiles, and the engine-side cost of deadlock removal — lost
+// operations, partial and total rollbacks — as observed over the wire.
+//
+// Workloads:
+//
+//	hotspot — sim.Generate over the server's uniform entities
+//	          ("e0".."eN-1") with a skewed hot set, the contention
+//	          pattern of the paper's §5 experiments;
+//	banking — sim.BankingWorkload transfers over "acct0".."acctM-1"
+//	          (the server guards these with a sum invariant).
+//
+// Usage:
+//
+//	prload -addr 127.0.0.1:7415 -clients 8 -txns 50 -workload hotspot \
+//	       -db 64 -hot 8 -hotprob 0.8 -locks 4 -seed 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"partialrollback/internal/client"
+	"partialrollback/internal/exec"
+	"partialrollback/internal/sim"
+	"partialrollback/internal/txn"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:7415", "server address")
+	clients  = flag.Int("clients", 8, "concurrent client connections")
+	txnsPer  = flag.Int("txns", 50, "transactions per client")
+	workload = flag.String("workload", "hotspot", "workload: hotspot|banking")
+	db       = flag.Int("db", 64, "hotspot: number of entities (must be <= server -entities)")
+	hot      = flag.Int("hot", 8, "hotspot: hot-set size (0 disables skew)")
+	hotProb  = flag.Float64("hotprob", 0.8, "hotspot: probability a lock hits the hot set")
+	locks    = flag.Int("locks", 4, "hotspot: locks per transaction")
+	pad      = flag.Int("pad", 2, "hotspot: compute padding per lock interval")
+	shape    = flag.String("shape", "scattered", "hotspot: write shape: scattered|clustered|three-phase|mixed")
+	rewrite  = flag.Float64("rewrite", 0.4, "hotspot: rewrite probability (scattered shape)")
+	accounts = flag.Int("accounts", 16, "banking: accounts (must be <= server -accounts)")
+	balance  = flag.Int64("balance", 100, "banking: unused by the client, kept for symmetry")
+	seed     = flag.Int64("seed", 1, "workload seed (client i uses seed+i)")
+	timeout  = flag.Duration("timeout", time.Minute, "per-attempt client deadline")
+	attempts = flag.Int("attempts", 16, "max attempts per transaction")
+)
+
+func parseShape(s string) (sim.WriteShape, error) {
+	switch s {
+	case "scattered":
+		return sim.Scattered, nil
+	case "clustered":
+		return sim.Clustered, nil
+	case "three-phase", "threephase":
+		return sim.ThreePhase, nil
+	case "mixed":
+		return sim.Mixed, nil
+	}
+	return 0, fmt.Errorf("unknown shape %q", s)
+}
+
+// clientStats accumulates one goroutine's observations.
+type clientStats struct {
+	committed  int
+	failed     int
+	latencies  []time.Duration
+	opsLost    int64
+	rollbacks  int64
+	restarts   int64
+	waits      int64
+	netRetries int64
+	lastErr    error
+}
+
+func programsFor(i int) []*txn.Program {
+	switch *workload {
+	case "hotspot":
+		sh, err := parseShape(*shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sim.Generate(sim.GenConfig{
+			Txns:        *txnsPer,
+			DBSize:      *db,
+			HotSet:      *hot,
+			HotProb:     *hotProb,
+			LocksPerTxn: *locks,
+			PadOps:      *pad,
+			RewriteProb: *rewrite,
+			Shape:       sh,
+			Seed:        *seed + int64(i),
+		}).Programs
+	case "banking":
+		return sim.BankingWorkload(*accounts, *txnsPer, *balance, *seed+int64(i)).Programs
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+		return nil
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prload: ")
+	flag.Parse()
+
+	stats := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		progs := programsFor(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				Addr:           *addr,
+				RequestTimeout: *timeout,
+				MaxAttempts:    *attempts,
+				Backoff:        exec.Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond},
+				Seed:           *seed + int64(i) + 1,
+			})
+			defer c.Close()
+			st := &stats[i]
+			for _, p := range progs {
+				t0 := time.Now()
+				res, err := c.Run(context.Background(), p)
+				if err != nil {
+					st.failed++
+					st.lastErr = err
+					continue
+				}
+				st.committed++
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.opsLost += res.Outcome.OpsLost
+				st.rollbacks += res.Outcome.Rollbacks
+				st.restarts += res.Outcome.Restarts
+				st.waits += res.Outcome.Waits
+				st.netRetries += int64(res.Attempts - 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total clientStats
+	for i := range stats {
+		st := &stats[i]
+		total.committed += st.committed
+		total.failed += st.failed
+		total.latencies = append(total.latencies, st.latencies...)
+		total.opsLost += st.opsLost
+		total.rollbacks += st.rollbacks
+		total.restarts += st.restarts
+		total.waits += st.waits
+		total.netRetries += st.netRetries
+		if st.lastErr != nil {
+			total.lastErr = st.lastErr
+		}
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	fmt.Printf("workload=%s clients=%d txns/client=%d elapsed=%v\n",
+		*workload, *clients, *txnsPer, elapsed.Round(time.Millisecond))
+	fmt.Printf("committed=%d failed=%d throughput=%.1f txn/s\n",
+		total.committed, total.failed, float64(total.committed)/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v\n",
+		percentile(total.latencies, 0.50).Round(time.Microsecond),
+		percentile(total.latencies, 0.90).Round(time.Microsecond),
+		percentile(total.latencies, 0.99).Round(time.Microsecond))
+	fmt.Printf("ops-lost=%d partial-rollbacks=%d total-rollbacks=%d waits=%d net-retries=%d\n",
+		total.opsLost, total.rollbacks-total.restarts, total.restarts, total.waits, total.netRetries)
+
+	// One extra connection for the server's own view of the run.
+	c := client.New(client.Config{Addr: *addr, RequestTimeout: *timeout})
+	defer c.Close()
+	if counters, err := c.Stats(); err == nil {
+		fmt.Println("server counters:")
+		for _, cn := range counters {
+			fmt.Printf("  %-18s %d\n", cn.Name, cn.Val)
+		}
+	} else {
+		log.Printf("stats request failed: %v", err)
+	}
+	if total.failed > 0 {
+		log.Fatalf("%d transactions failed; last error: %v", total.failed, total.lastErr)
+	}
+}

@@ -1,0 +1,153 @@
+// Command prserver serves the partial-rollback engine over TCP using
+// the wire protocol in internal/wire. Clients (cmd/prload, or any
+// internal/client user) ship whole transaction programs; the server
+// executes them with partial-rollback deadlock removal and streams
+// every rollback back as a notification.
+//
+// The database is a uniform store of -entities entities "e0".."eN-1"
+// initialized to -init, plus -accounts bank accounts "acct0".."acctM-1"
+// initialized to -balance with a sum-invariant (so both prload
+// workloads can run against one server).
+//
+// Usage:
+//
+//	prserver -addr :7415 -strategy sdg -policy ordered-min-cost \
+//	         -entities 64 -accounts 16 -max-sessions 128
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight transactions
+// get -drain-timeout to commit, the rest are rolled back to their
+// initial states, and the final counter snapshot is printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/server"
+)
+
+var (
+	addr        = flag.String("addr", "127.0.0.1:7415", "listen address")
+	strategy    = flag.String("strategy", "mcs", "rollback strategy: total|mcs|sdg|hybrid")
+	policy      = flag.String("policy", "ordered-min-cost", "victim policy: min-cost|ordered-min-cost|requester|youngest-victim|greedy")
+	entities    = flag.Int("entities", 64, "number of uniform entities e0..eN-1")
+	initVal     = flag.Int64("init", 0, "initial value of each uniform entity")
+	accounts    = flag.Int("accounts", 16, "number of bank accounts acct0..acctM-1 (0 disables)")
+	balance     = flag.Int64("balance", 100, "initial balance per account")
+	maxSessions = flag.Int("max-sessions", 256, "maximum concurrent sessions")
+	backlog     = flag.Int("backlog", 32, "connections allowed to wait for a session slot")
+	reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-transaction execution deadline")
+	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "per-message read deadline")
+	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	verbose     = flag.Bool("v", false, "log per-session diagnostics")
+)
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "total":
+		return core.Total, nil
+	case "mcs":
+		return core.MCS, nil
+	case "sdg":
+		return core.SDG, nil
+	case "hybrid":
+		return core.Hybrid, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func parsePolicy(s string) (deadlock.Policy, error) {
+	switch s {
+	case "min-cost":
+		return deadlock.MinCost{}, nil
+	case "ordered-min-cost":
+		return deadlock.OrderedMinCost{}, nil
+	case "requester":
+		return deadlock.Requester{}, nil
+	case "youngest-victim":
+		return deadlock.Oldest{}, nil
+	case "greedy":
+		return deadlock.Greedy{}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", s)
+}
+
+func buildStore() *entity.Store {
+	store := entity.NewUniformStore("e", *entities, *initVal)
+	if *accounts > 0 {
+		names := make([]string, *accounts)
+		for i := range names {
+			names[i] = fmt.Sprintf("acct%d", i)
+			store.Define(names[i], *balance)
+		}
+		store.AddConstraint(entity.SumConstraint(
+			"balance-sum", int64(*accounts)*(*balance), names...))
+	}
+	return store
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prserver: ")
+	flag.Parse()
+
+	st, err := parseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := server.Config{
+		Store:          buildStore(),
+		Strategy:       st,
+		Policy:         pol,
+		MaxSessions:    *maxSessions,
+		Backlog:        *backlog,
+		RequestTimeout: *reqTimeout,
+		IdleTimeout:    *idleTimeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d)",
+		srv.Addr(), *strategy, *policy, *entities, *accounts)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down (drain %v)...", *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain deadline hit; in-flight transactions rolled back (%v)", err)
+	}
+
+	fmt.Println("final counters:")
+	for _, c := range srv.Counters() {
+		fmt.Printf("  %-18s %d\n", c.Name, c.Val)
+	}
+	if err := srv.System().CheckInvariants(); err != nil {
+		log.Fatalf("engine invariants violated: %v", err)
+	}
+	if err := cfg.Store.CheckConsistent(); err != nil {
+		log.Fatalf("store inconsistent after shutdown: %v", err)
+	}
+	log.Printf("store consistent; bye")
+}

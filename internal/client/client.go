@@ -1,0 +1,280 @@
+// Package client is the network counterpart of internal/server: it
+// ships whole transaction programs over the wire protocol and re-runs
+// them with jittered exponential backoff when the server reports a
+// retryable failure (the transaction was rolled back to its initial
+// state by a request deadline, or refused during shutdown or overload).
+// That retry loop is the client-side analogue of the engine's
+// re-execution after rollback — the same §2 semantics applied one level
+// up, using the shared internal/exec machinery.
+//
+// A Client owns one connection, reused across transactions and redialed
+// transparently after transport failures. It is NOT safe for concurrent
+// use; run one Client per goroutine (they are cheap — one TCP
+// connection and a small buffer each).
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"partialrollback/internal/exec"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/wire"
+)
+
+// Config configures a Client.
+type Config struct {
+	// Addr is the server address for the default dialer.
+	Addr string
+	// Dial, when non-nil, replaces the default TCP dialer (tests,
+	// custom transports).
+	Dial func() (net.Conn, error)
+	// RequestTimeout bounds one attempt end to end (write, execute,
+	// read reply). Default 1m — deliberately above the server's own
+	// request deadline so the server, not the transport, decides.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds Run's attempts per transaction. Default 16.
+	MaxAttempts int
+	// Backoff shapes the inter-attempt delay.
+	Backoff exec.Backoff
+	// Seed seeds the backoff jitter; 0 derives one from the clock.
+	Seed int64
+	// OnRollback, when non-nil, receives every partial-rollback
+	// notification the server streams while executing our transaction.
+	OnRollback func(wire.RolledBack)
+}
+
+// ServerError is an Error frame returned by the server.
+type ServerError struct {
+	Code wire.ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server: %s: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether re-running the transaction can succeed.
+func (e *ServerError) Retryable() bool { return e.Code.Retryable() }
+
+// ErrRolledBack tags retryable server failures: errors.Is(err,
+// ErrRolledBack) holds for any ServerError whose code is retryable.
+var ErrRolledBack = errors.New("client: transaction rolled back by server")
+
+// Is makes retryable server errors match ErrRolledBack.
+func (e *ServerError) Is(target error) bool {
+	return target == ErrRolledBack && e.Retryable()
+}
+
+// Retryable classifies an error from RunOnce: terminal server verdicts
+// (bad request, internal error) and protocol violations are final;
+// retryable server codes and transport failures (the connection is
+// redialed) are worth another attempt.
+func Retryable(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	if errors.Is(err, wire.ErrProtocol) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Transport errors: dial failures, resets, timeouts.
+	return true
+}
+
+// Result reports a transaction the server committed.
+type Result struct {
+	// Txn is the server-side transaction ID of the committing run.
+	Txn int64
+	// Locals holds the program's local variables at commit.
+	Locals map[string]int64
+	// Outcome carries the engine's per-transaction counters for the
+	// committing run (partial rollbacks, lost operations, waits).
+	Outcome wire.TxnOutcome
+	// RolledBack collects every rollback notification received, across
+	// all attempts when returned by Run.
+	RolledBack []wire.RolledBack
+	// Attempts is how many runs Run needed (always 1 from RunOnce).
+	Attempts int
+}
+
+// Client submits transactions to one server. Not safe for concurrent
+// use.
+type Client struct {
+	cfg  Config
+	rng  *rand.Rand
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// New creates a Client. No connection is made until the first request.
+func New(cfg Config) *Client {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 16
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Close closes the connection, if open.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br = nil, nil
+	return err
+}
+
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	dial := c.cfg.Dial
+	if dial == nil {
+		addr := c.cfg.Addr
+		dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 5*time.Second) }
+	}
+	conn, err := dial()
+	if err != nil {
+		return fmt.Errorf("client: dial: %w", err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+// dropConn discards the connection after a transport or protocol
+// failure; the next attempt redials.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+	}
+}
+
+// RunOnce submits prog and waits for its verdict: a Result when the
+// server committed it, a *ServerError when the server refused or rolled
+// it back (check Retryable), a transport error otherwise.
+func (c *Client) RunOnce(prog *txn.Program) (*Result, error) {
+	msgs, err := wire.ProgramMsgs(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	bw := bufio.NewWriter(c.conn)
+	for _, m := range msgs {
+		if _, err := wire.WriteMsg(bw, m); err != nil {
+			c.dropConn()
+			return nil, fmt.Errorf("client: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		c.dropConn()
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	res := &Result{Attempts: 1}
+	for {
+		m, _, err := wire.ReadMsg(c.br)
+		if err != nil {
+			c.dropConn()
+			return nil, fmt.Errorf("client: read: %w", err)
+		}
+		switch x := m.(type) {
+		case wire.RolledBack:
+			res.RolledBack = append(res.RolledBack, x)
+			if c.cfg.OnRollback != nil {
+				c.cfg.OnRollback(x)
+			}
+		case wire.Committed:
+			res.Txn = x.Txn
+			res.Outcome = x.Stats
+			res.Locals = make(map[string]int64, len(x.Locals))
+			for _, d := range x.Locals {
+				res.Locals[d.Name] = d.Val
+			}
+			return res, nil
+		case wire.Error:
+			// Retryable refusals end the exchange but leave the stream
+			// aligned; terminal ones may follow a desync, drop the conn.
+			if !x.Code.Retryable() || x.Code == wire.CodeShutdown {
+				c.dropConn()
+			}
+			// Return the partial result so Run can aggregate rollback
+			// notifications received before the refusal.
+			return res, &ServerError{Code: x.Code, Msg: x.Msg}
+		default:
+			c.dropConn()
+			return nil, fmt.Errorf("client: %w: unexpected %s reply", wire.ErrProtocol, m.Type())
+		}
+	}
+}
+
+// Run submits prog and re-runs it on retryable failures with jittered
+// exponential backoff, until it commits, fails terminally, attempts run
+// out, or ctx ends. The Result aggregates rollback notifications and
+// attempts across runs.
+func (c *Client) Run(ctx context.Context, prog *txn.Program) (*Result, error) {
+	var (
+		last     *Result
+		rollback []wire.RolledBack
+	)
+	attempts, err := exec.Retry(ctx, c.cfg.MaxAttempts, c.cfg.Backoff, c.rng,
+		func(context.Context) error {
+			r, err := c.RunOnce(prog)
+			if r != nil {
+				rollback = append(rollback, r.RolledBack...)
+			}
+			last = r
+			return err
+		}, Retryable)
+	if err != nil {
+		return nil, err
+	}
+	last.Attempts = attempts
+	last.RolledBack = rollback
+	return last, nil
+}
+
+// Stats requests the server's counter snapshot.
+func (c *Client) Stats() ([]wire.Counter, error) {
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if _, err := wire.WriteMsg(c.conn, wire.Stats{}); err != nil {
+		c.dropConn()
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	m, _, err := wire.ReadMsg(c.br)
+	if err != nil {
+		c.dropConn()
+		return nil, fmt.Errorf("client: read: %w", err)
+	}
+	switch x := m.(type) {
+	case wire.StatsReply:
+		return x.Counters, nil
+	case wire.Error:
+		return nil, &ServerError{Code: x.Code, Msg: x.Msg}
+	default:
+		c.dropConn()
+		return nil, fmt.Errorf("client: %w: unexpected %s reply", wire.ErrProtocol, m.Type())
+	}
+}

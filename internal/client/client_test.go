@@ -1,0 +1,220 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"partialrollback/internal/exec"
+	"partialrollback/internal/sim"
+	"partialrollback/internal/wire"
+)
+
+// serveScript consumes one transaction message sequence per reply set
+// from conn (validating each assembles into a valid program) and
+// answers with the set's messages, then closes the connection.
+func serveScript(t *testing.T, conn net.Conn, replySets ...[]wire.Msg) {
+	t.Helper()
+	defer conn.Close()
+	for _, replies := range replySets {
+		m, _, err := wire.ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		begin, ok := m.(wire.Begin)
+		if !ok {
+			t.Errorf("first message %T, want Begin", m)
+			return
+		}
+		asm := wire.NewAssembler(begin)
+		for {
+			m, _, err := wire.ReadMsg(conn)
+			if err != nil {
+				return
+			}
+			done, err := asm.Feed(m)
+			if err != nil {
+				t.Errorf("feed: %v", err)
+				return
+			}
+			if done {
+				break
+			}
+		}
+		if _, err := asm.Program(); err != nil {
+			t.Errorf("assembled program invalid: %v", err)
+		}
+		for _, r := range replies {
+			if _, err := wire.WriteMsg(conn, r); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func committedReply() wire.Committed {
+	return wire.Committed{
+		Txn:    7,
+		Locals: []wire.LocalDecl{{Name: "x", Val: 41}},
+		Stats:  wire.TxnOutcome{OpsExecuted: 5},
+	}
+}
+
+// pipeDialer returns a Dial hook whose nth call is wired to the nth
+// script.
+func pipeDialer(t *testing.T, scripts ...func(net.Conn)) func() (net.Conn, error) {
+	n := 0
+	return func() (net.Conn, error) {
+		if n >= len(scripts) {
+			t.Fatalf("unexpected dial #%d", n+1)
+		}
+		cc, sc := net.Pipe()
+		go scripts[n](sc)
+		n++
+		return cc, nil
+	}
+}
+
+func testConfig(dial func() (net.Conn, error)) Config {
+	return Config{
+		Dial:           dial,
+		RequestTimeout: 5 * time.Second,
+		MaxAttempts:    8,
+		Backoff:        exec.Backoff{Base: time.Microsecond, Cap: time.Microsecond},
+		Seed:           1,
+	}
+}
+
+func TestRunRetriesRolledBack(t *testing.T) {
+	prog := sim.TransferProgram("t", "e0", "e1", 1, 0)
+	var notified int
+	// Retryable refusals keep the connection, so one dial serves all
+	// three attempts — this also covers connection reuse.
+	cfg := testConfig(pipeDialer(t, func(conn net.Conn) {
+		serveScript(t, conn,
+			[]wire.Msg{
+				wire.RolledBack{Txn: 7, FromState: 2, ToState: 0, Lost: 2},
+				wire.Error{Code: wire.CodeRolledBack, Msg: "deadline"},
+			},
+			[]wire.Msg{
+				wire.RolledBack{Txn: 9, FromState: 1, ToState: 0, Lost: 1},
+				wire.Error{Code: wire.CodeRolledBack, Msg: "deadline"},
+			},
+			[]wire.Msg{committedReply()},
+		)
+	}))
+	cfg.OnRollback = func(wire.RolledBack) { notified++ }
+	c := New(cfg)
+	defer c.Close()
+	res, err := c.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", res.Attempts)
+	}
+	if len(res.RolledBack) != 2 || notified != 2 {
+		t.Errorf("rollback notifications = %d (callback %d), want 2", len(res.RolledBack), notified)
+	}
+	if res.Locals["x"] != 41 || res.Outcome.OpsExecuted != 5 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestRunRedialsAfterTransportFailure(t *testing.T) {
+	prog := sim.TransferProgram("t", "e0", "e1", 1, 0)
+	cfg := testConfig(pipeDialer(t,
+		func(conn net.Conn) { conn.Close() }, // dies immediately
+		func(conn net.Conn) { serveScript(t, conn, []wire.Msg{committedReply()}) },
+	))
+	c := New(cfg)
+	defer c.Close()
+	res, err := c.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestRunStopsOnTerminalError(t *testing.T) {
+	prog := sim.TransferProgram("t", "e0", "e1", 1, 0)
+	dials := 0
+	cfg := testConfig(func() (net.Conn, error) {
+		dials++
+		cc, sc := net.Pipe()
+		go serveScript(t, sc, []wire.Msg{wire.Error{Code: wire.CodeBadRequest, Msg: "no such entity"}})
+		return cc, nil
+	})
+	c := New(cfg)
+	defer c.Close()
+	_, err := c.Run(context.Background(), prog)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeBadRequest {
+		t.Fatalf("err = %v, want BadRequest ServerError", err)
+	}
+	if errors.Is(err, ErrRolledBack) {
+		t.Error("terminal error must not match ErrRolledBack")
+	}
+	if dials != 1 {
+		t.Errorf("dials = %d, want 1 (no retry)", dials)
+	}
+}
+
+func TestErrRolledBackMatching(t *testing.T) {
+	for _, tc := range []struct {
+		code wire.ErrCode
+		want bool
+	}{
+		{wire.CodeRolledBack, true},
+		{wire.CodeShutdown, true},
+		{wire.CodeBusy, true},
+		{wire.CodeBadRequest, false},
+		{wire.CodeInternal, false},
+	} {
+		err := error(&ServerError{Code: tc.code})
+		if got := errors.Is(err, ErrRolledBack); got != tc.want {
+			t.Errorf("errors.Is(%s, ErrRolledBack) = %v, want %v", tc.code, got, tc.want)
+		}
+		if got := Retryable(err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.code, got, tc.want)
+		}
+	}
+	if !Retryable(errors.New("some transport failure")) {
+		t.Error("transport errors must be retryable")
+	}
+	if Retryable(wire.ErrProtocol) {
+		t.Error("protocol violations must not be retryable")
+	}
+}
+
+func TestStats(t *testing.T) {
+	cfg := testConfig(func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go func() {
+			defer sc.Close()
+			m, _, err := wire.ReadMsg(sc)
+			if err != nil {
+				return
+			}
+			if _, ok := m.(wire.Stats); !ok {
+				t.Errorf("got %T, want Stats", m)
+				return
+			}
+			wire.WriteMsg(sc, wire.StatsReply{Counters: []wire.Counter{{Name: "commits", Val: 3}}})
+		}()
+		return cc, nil
+	})
+	c := New(cfg)
+	defer c.Close()
+	counters, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counters) != 1 || counters[0].Name != "commits" || counters[0].Val != 3 {
+		t.Errorf("counters = %+v", counters)
+	}
+}

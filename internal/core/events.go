@@ -19,6 +19,9 @@ const (
 	EventRollback
 	EventUnlock
 	EventCommit
+	// EventAbort: the transaction was rolled back to its initial state
+	// and removed from the system (see System.Abort).
+	EventAbort
 )
 
 func (k EventKind) String() string {
@@ -37,6 +40,8 @@ func (k EventKind) String() string {
 		return "unlock"
 	case EventCommit:
 		return "commit"
+	case EventAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

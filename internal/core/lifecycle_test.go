@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// transfer builds the canonical two-entity transfer program (a local
+// copy of sim.TransferProgram; sim imports core and cannot be used
+// here).
+func transfer(name, from, to string, amount int64, padOps int) *txn.Program {
+	b := txn.NewProgram(name).
+		Local("x", 0).Local("y", 0).Local("pad", 0).
+		LockX(from).
+		Read(from, "x")
+	for i := 0; i < padOps; i++ {
+		b.Compute("pad", value.Add(value.L("pad"), value.C(1)))
+	}
+	return b.
+		LockX(to).
+		Read(to, "y").
+		Write(from, value.Sub(value.L("x"), value.C(amount))).
+		Write(to, value.Add(value.L("y"), value.C(amount))).
+		MustBuild()
+}
+
+func lifecycleSystem(t *testing.T, strategy Strategy) *System {
+	t.Helper()
+	return New(Config{Store: entity.NewUniformStore("e", 8, 10), Strategy: strategy})
+}
+
+// stepUntil steps id until cond or the bound runs out.
+func stepUntil(t *testing.T, s *System, id txn.ID, cond func(StepResult) bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		res, err := s.Step(id)
+		if err != nil {
+			t.Fatalf("step %v: %v", id, err)
+		}
+		if cond(res) {
+			return
+		}
+	}
+	t.Fatalf("%v: condition not reached in 1000 steps", id)
+}
+
+func TestAbortReleasesLocksAndUnblocksWaiter(t *testing.T) {
+	for _, strategy := range []Strategy{Total, MCS, SDG, Hybrid} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			s := lifecycleSystem(t, strategy)
+			holder := s.MustRegister(transfer("holder", "e0", "e1", 1, 2))
+			waiter := s.MustRegister(transfer("waiter", "e0", "e2", 1, 0))
+			// Holder takes e0; waiter blocks on it.
+			if _, err := s.Step(holder); err != nil {
+				t.Fatal(err)
+			}
+			stepUntil(t, s, waiter, func(r StepResult) bool { return r.Outcome == Blocked })
+
+			if err := s.Abort(holder); err != nil {
+				t.Fatalf("abort: %v", err)
+			}
+			if _, err := s.Status(holder); err == nil {
+				t.Error("aborted transaction still registered")
+			}
+			// The waiter must have been granted e0 by the release.
+			if st, err := s.Status(waiter); err != nil || st != StatusRunning {
+				t.Fatalf("waiter status %v err %v after abort", st, err)
+			}
+			stepUntil(t, s, waiter, func(r StepResult) bool { return r.Outcome == Committed })
+			if got := s.Stats().Aborts; got != 1 {
+				t.Errorf("aborts = %d, want 1", got)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// The store must be untouched by the aborted transaction.
+			if v := s.store.MustGet("e0"); v != 9 {
+				t.Errorf("e0 = %d after waiter commit, want 9", v)
+			}
+		})
+	}
+}
+
+func TestAbortBeforeFirstLock(t *testing.T) {
+	s := lifecycleSystem(t, SDG)
+	id := s.MustRegister(transfer("fresh", "e0", "e1", 1, 0))
+	if err := s.Abort(id); err != nil {
+		t.Fatalf("abort of unstarted transaction: %v", err)
+	}
+	if _, err := s.Status(id); err == nil {
+		t.Error("aborted transaction still registered")
+	}
+}
+
+func TestAbortWaitingTransaction(t *testing.T) {
+	s := lifecycleSystem(t, MCS)
+	holder := s.MustRegister(transfer("holder", "e0", "e1", 1, 0))
+	waiter := s.MustRegister(transfer("waiter", "e0", "e2", 1, 0))
+	if _, err := s.Step(holder); err != nil {
+		t.Fatal(err)
+	}
+	stepUntil(t, s, waiter, func(r StepResult) bool { return r.Outcome == Blocked })
+	if err := s.Abort(waiter); err != nil {
+		t.Fatalf("abort waiting: %v", err)
+	}
+	stepUntil(t, s, holder, func(r StepResult) bool { return r.Outcome == Committed })
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortCommittedAndShrinking(t *testing.T) {
+	s := lifecycleSystem(t, SDG)
+	p := txn.NewProgram("shrink").
+		Local("x", 0).
+		LockX("e0").Read("e0", "x").
+		Unlock("e0").
+		Compute("x", value.Add(value.L("x"), value.C(1))).
+		MustBuild()
+	id := s.MustRegister(p)
+	// Step past the unlock: Lock, Read, Unlock.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Abort(id); !errors.Is(err, ErrShrinking) {
+		t.Errorf("abort in shrinking phase: got %v, want ErrShrinking", err)
+	}
+	stepUntil(t, s, id, func(r StepResult) bool { return r.Outcome == Committed })
+	if err := s.Abort(id); !errors.Is(err, ErrCommitted) {
+		t.Errorf("abort after commit: got %v, want ErrCommitted", err)
+	}
+}
+
+func TestForget(t *testing.T) {
+	s := lifecycleSystem(t, Total)
+	id := s.MustRegister(transfer("t", "e0", "e1", 1, 0))
+	if err := s.Forget(id); err == nil {
+		t.Error("forget of running transaction should fail")
+	}
+	stepUntil(t, s, id, func(r StepResult) bool { return r.Outcome == Committed })
+	if err := s.Forget(id); err != nil {
+		t.Fatalf("forget: %v", err)
+	}
+	if _, err := s.Status(id); err == nil {
+		t.Error("forgotten transaction still registered")
+	}
+	if err := s.Forget(id); err == nil {
+		t.Error("double forget should fail")
+	}
+	// AllCommitted must remain true with the table emptied.
+	if !s.AllCommitted() {
+		t.Error("AllCommitted false after forget")
+	}
+}
+
+func TestAbortEventEmitted(t *testing.T) {
+	var events []EventKind
+	store := entity.NewUniformStore("e", 4, 0)
+	s := New(Config{Store: store, OnEvent: func(e Event) { events = append(events, e.Kind) }})
+	id := s.MustRegister(transfer("t", "e0", "e1", 1, 0))
+	if _, err := s.Step(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range events {
+		if k == EventAbort {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no EventAbort in %v", events)
+	}
+	if EventAbort.String() != "abort" {
+		t.Errorf("EventAbort.String() = %q", EventAbort.String())
+	}
+}

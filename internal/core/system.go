@@ -202,6 +202,10 @@ type Stats struct {
 	Dies   int64
 	// Escalations counts starvation-limit wound-wait escalations.
 	Escalations int64
+	// Aborts counts transactions rolled back to their initial state and
+	// removed by System.Abort (serving-layer deadlines, disconnects,
+	// shutdown drain).
+	Aborts int64
 }
 
 // System is the concurrency control. All methods are safe for

@@ -1,0 +1,208 @@
+// Package exec holds the shared transaction-execution machinery used
+// by every driver of a core.System: the re-execute-after-rollback step
+// loop (extracted from internal/runtime so the in-process runtime and
+// the network server run one implementation) and the jittered
+// exponential backoff used by network clients to re-run transactions
+// the server rolled back — the same §2 re-execution semantics, applied
+// one level up.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/txn"
+)
+
+// Notifier routes engine events to per-transaction wake channels so a
+// goroutine parked on a blocked transaction resumes when the engine
+// grants its lock or rolls it back (either way it is runnable again).
+// Pass OnEvent to core.Config.OnEvent (or call it from a composite
+// event handler). All methods are safe for concurrent use and OnEvent
+// never blocks, so it is safe to invoke under the engine mutex.
+type Notifier struct {
+	mu   sync.Mutex
+	wake map[txn.ID]chan struct{}
+}
+
+// NewNotifier returns an empty Notifier.
+func NewNotifier() *Notifier {
+	return &Notifier{wake: map[txn.ID]chan struct{}{}}
+}
+
+// Register creates (or returns) the wake channel for id.
+func (n *Notifier) Register(id txn.ID) chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.wake[id]
+	if !ok {
+		ch = make(chan struct{}, 1)
+		n.wake[id] = ch
+	}
+	return ch
+}
+
+// Unregister drops id's wake channel.
+func (n *Notifier) Unregister(id txn.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.wake, id)
+}
+
+// Wake kicks id's wake channel, if registered (non-blocking).
+func (n *Notifier) Wake(id txn.ID) {
+	n.mu.Lock()
+	ch := n.wake[id]
+	n.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// OnEvent forwards grant/rollback/abort events as wakeups.
+func (n *Notifier) OnEvent(e core.Event) {
+	switch e.Kind {
+	case core.EventGrant, core.EventRollback, core.EventAbort:
+		n.Wake(e.Txn)
+	}
+}
+
+// ctxCheckInterval bounds how many uninterrupted steps StepToCommit
+// executes between context checks.
+const ctxCheckInterval = 256
+
+// StepToCommit drives one transaction to commit: it steps the
+// transaction while it progresses and parks on wake while it waits.
+// When the engine rolls the transaction back (deadlock victim, wound,
+// starvation escalation), its program counter has been reset and the
+// loop simply keeps stepping — re-executing from the rollback point.
+// That loop is the paper's re-execution semantics and is shared by
+// internal/runtime (in-process) and internal/server (per network
+// session).
+//
+// It returns nil once the transaction commits, ctx.Err() if the
+// context ends first (the transaction is left registered; callers
+// abort or drain it), and an engine error otherwise. maxSteps <= 0
+// means 1,000,000.
+func StepToCommit(ctx context.Context, sys *core.System, id txn.ID, wake <-chan struct{}, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	for steps := 0; steps < maxSteps; steps++ {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		res, err := sys.Step(id)
+		if err != nil {
+			return fmt.Errorf("exec: %v: %w", id, err)
+		}
+		switch res.Outcome {
+		case core.Committed, core.AlreadyCommitted:
+			return nil
+		case core.Progressed, core.SelfRolledBack:
+			// Yield between steps so concurrent transactions interleave
+			// — the paper's model of interleaved atomic operations.
+			// Without this a driver on GOMAXPROCS=1 runs every
+			// transaction to commit in one burst and no two ever
+			// contend for a lock.
+			runtime.Gosched()
+			continue
+		case core.Blocked, core.BlockedDeadlock, core.StillWaiting:
+			if st, err := sys.Status(id); err == nil && st == core.StatusRunning {
+				continue // rolled back or granted during the same step
+			}
+			select {
+			case <-wake:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return fmt.Errorf("exec: %v exceeded %d steps", id, maxSteps)
+}
+
+// Backoff computes jittered exponential retry delays: attempt k (from
+// 0) sleeps a uniformly random duration in (0, min(Base·2^k, Cap)].
+// Full jitter keeps retrying clients from re-colliding in lockstep —
+// the network analogue of Theorem 2's concern that uncoordinated
+// re-execution can preempt forever.
+type Backoff struct {
+	// Base is the first attempt's maximum delay. Default 2ms.
+	Base time.Duration
+	// Cap bounds the delay. Default 250ms.
+	Cap time.Duration
+}
+
+// Delay returns the sleep before retry attempt k (0-based), drawing
+// jitter from rng (which must not be shared between goroutines without
+// locking; pass nil to use the global source).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	var f float64
+	if rng != nil {
+		f = rng.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	jittered := time.Duration(f * float64(d))
+	if jittered <= 0 {
+		jittered = time.Nanosecond
+	}
+	return jittered
+}
+
+// Retry runs attempt until it succeeds, fails terminally, or the
+// context ends. retryable classifies errors; attempts <= 0 means 16.
+// It returns the number of attempts made alongside the final error
+// (nil on success).
+func Retry(ctx context.Context, attempts int, b Backoff, rng *rand.Rand,
+	attempt func(context.Context) error, retryable func(error) bool) (int, error) {
+	if attempts <= 0 {
+		attempts = 16
+	}
+	var err error
+	for k := 0; k < attempts; k++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return k, cerr
+		}
+		err = attempt(ctx)
+		if err == nil {
+			return k + 1, nil
+		}
+		if !retryable(err) || k == attempts-1 {
+			return k + 1, err
+		}
+		t := time.NewTimer(b.Delay(k, rng))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return k + 1, ctx.Err()
+		}
+	}
+	return attempts, err
+}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/sim"
+)
+
+// TestStepToCommitDeadlock runs two transactions that deadlock (a->b,
+// b->a) concurrently; the engine must roll one back and both must
+// commit through the shared loop.
+func TestStepToCommitDeadlock(t *testing.T) {
+	for _, strategy := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+		notif := NewNotifier()
+		store := entity.NewUniformStore("e", 4, 100)
+		sys := core.New(core.Config{Store: store, Strategy: strategy, OnEvent: notif.OnEvent})
+		progs := []struct{ from, to string }{{"e0", "e1"}, {"e1", "e0"}}
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(progs))
+		for i, p := range progs {
+			id := sys.MustRegister(sim.TransferProgram("t", p.from, p.to, 1, 3))
+			wake := notif.Register(id)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errCh <- StepToCommit(context.Background(), sys, id, wake, 0)
+			}()
+			_ = i
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if err != nil {
+				t.Fatalf("%v: %v", strategy, err)
+			}
+		}
+		if !sys.AllCommitted() {
+			t.Fatalf("%v: not all committed", strategy)
+		}
+		if err := store.CheckConsistent(); err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+	}
+}
+
+// TestStepToCommitContextCancel parks a transaction on a held lock and
+// cancels the context: the loop must return ctx.Err() promptly, leaving
+// the transaction registered for the caller to abort.
+func TestStepToCommitContextCancel(t *testing.T) {
+	notif := NewNotifier()
+	store := entity.NewUniformStore("e", 4, 100)
+	sys := core.New(core.Config{Store: store, OnEvent: notif.OnEvent})
+	holder := sys.MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	if _, err := sys.Step(holder); err != nil { // holder takes e0
+		t.Fatal(err)
+	}
+	waiter := sys.MustRegister(sim.TransferProgram("waiter", "e0", "e2", 1, 0))
+	wake := notif.Register(waiter)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := StepToCommit(ctx, sys, waiter, wake, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if err := sys.Abort(waiter); err != nil {
+		t.Fatalf("abort after cancel: %v", err)
+	}
+	// The holder must still be able to commit.
+	wakeH := notif.Register(holder)
+	if err := StepToCommit(context.Background(), sys, holder, wakeH, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		max := time.Millisecond << attempt
+		if max > 8*time.Millisecond {
+			max = 8 * time.Millisecond
+		}
+		for i := 0; i < 100; i++ {
+			d := b.Delay(attempt, rng)
+			if d <= 0 || d > max {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, max)
+			}
+		}
+	}
+	// Defaults apply for the zero value.
+	if d := (Backoff{}).Delay(0, rng); d <= 0 || d > 2*time.Millisecond {
+		t.Errorf("zero-value delay %v", d)
+	}
+}
+
+func TestRetry(t *testing.T) {
+	fail := errors.New("transient")
+	fatal := errors.New("fatal")
+	isTransient := func(err error) bool { return errors.Is(err, fail) }
+	b := Backoff{Base: time.Microsecond, Cap: time.Microsecond}
+
+	t.Run("succeeds after transient failures", func(t *testing.T) {
+		n := 0
+		attempts, err := Retry(context.Background(), 10, b, nil, func(context.Context) error {
+			n++
+			if n < 3 {
+				return fail
+			}
+			return nil
+		}, isTransient)
+		if err != nil || attempts != 3 {
+			t.Fatalf("attempts=%d err=%v", attempts, err)
+		}
+	})
+	t.Run("stops on terminal error", func(t *testing.T) {
+		attempts, err := Retry(context.Background(), 10, b, nil, func(context.Context) error {
+			return fatal
+		}, isTransient)
+		if !errors.Is(err, fatal) || attempts != 1 {
+			t.Fatalf("attempts=%d err=%v", attempts, err)
+		}
+	})
+	t.Run("exhausts attempts", func(t *testing.T) {
+		attempts, err := Retry(context.Background(), 4, b, nil, func(context.Context) error {
+			return fail
+		}, isTransient)
+		if !errors.Is(err, fail) || attempts != 4 {
+			t.Fatalf("attempts=%d err=%v", attempts, err)
+		}
+	})
+	t.Run("honors context", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Retry(ctx, 10, b, nil, func(context.Context) error {
+			return fail
+		}, isTransient)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestNotifierWakeUnknown(t *testing.T) {
+	n := NewNotifier()
+	n.Wake(99) // must not panic
+	ch := n.Register(1)
+	n.OnEvent(core.Event{Kind: core.EventGrant, Txn: 1})
+	n.OnEvent(core.Event{Kind: core.EventGrant, Txn: 1}) // non-blocking when full
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no wakeup delivered")
+	}
+	n.Unregister(1)
+	n.Wake(1) // no-op after unregister
+}

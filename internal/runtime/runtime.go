@@ -3,7 +3,10 @@
 // view of the paper's model, realized with Go's native concurrency.
 // Transactions step themselves; blocked ones park on a wakeup channel
 // signalled when the engine grants their lock or rolls them back
-// (either way they become runnable again).
+// (either way they become runnable again). The park/step/re-execute
+// loop itself lives in internal/exec and is shared with the network
+// server (internal/server), which runs the same loop once per client
+// session.
 //
 // The deterministic drivers in internal/sim are preferred for
 // experiments; this driver exists to exercise the engine under real
@@ -12,6 +15,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,6 +23,7 @@ import (
 	"partialrollback/internal/core"
 	"partialrollback/internal/deadlock"
 	"partialrollback/internal/entity"
+	"partialrollback/internal/exec"
 	"partialrollback/internal/hybrid"
 	"partialrollback/internal/txn"
 )
@@ -49,26 +54,7 @@ type Outcome struct {
 // engine for inspection. It fails if any transaction errors or exceeds
 // its step bound.
 func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, error) {
-	maxSteps := opt.MaxStepsPerTxn
-	if maxSteps == 0 {
-		maxSteps = 1_000_000
-	}
-
-	var mu sync.Mutex
-	wake := map[txn.ID]chan struct{}{}
-	notify := func(id txn.ID) {
-		mu.Lock()
-		ch := wake[id]
-		mu.Unlock()
-		if ch == nil {
-			return
-		}
-		select {
-		case ch <- struct{}{}:
-		default:
-		}
-	}
-
+	notif := exec.NewNotifier()
 	sys := core.New(core.Config{
 		Store:           store,
 		Strategy:        opt.Strategy,
@@ -77,12 +63,7 @@ func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, e
 		HybridBudget:    opt.HybridBudget,
 		HybridAllocator: opt.HybridAllocator,
 		RecordHistory:   opt.RecordHistory,
-		OnEvent: func(e core.Event) {
-			switch e.Kind {
-			case core.EventGrant, core.EventRollback:
-				notify(e.Txn)
-			}
-		},
+		OnEvent:         notif.OnEvent,
 	})
 
 	ids := make([]txn.ID, 0, len(programs))
@@ -91,9 +72,7 @@ func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, e
 		if err != nil {
 			return nil, err
 		}
-		mu.Lock()
-		wake[id] = make(chan struct{}, 1)
-		mu.Unlock()
+		notif.Register(id)
 		ids = append(ids, id)
 	}
 
@@ -103,28 +82,10 @@ func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, e
 		wg.Add(1)
 		go func(id txn.ID) {
 			defer wg.Done()
-			mu.Lock()
-			ch := wake[id]
-			mu.Unlock()
-			for steps := 0; steps < maxSteps; steps++ {
-				res, err := sys.Step(id)
-				if err != nil {
-					errCh <- fmt.Errorf("runtime: %v: %w", id, err)
-					return
-				}
-				switch res.Outcome {
-				case core.Committed, core.AlreadyCommitted:
-					return
-				case core.Progressed, core.SelfRolledBack:
-					continue
-				case core.Blocked, core.BlockedDeadlock, core.StillWaiting:
-					if st, err := sys.Status(id); err == nil && st == core.StatusRunning {
-						continue // rolled back or granted during the same step
-					}
-					<-ch
-				}
+			wake := notif.Register(id)
+			if err := exec.StepToCommit(context.Background(), sys, id, wake, opt.MaxStepsPerTxn); err != nil {
+				errCh <- fmt.Errorf("runtime: %w", err)
 			}
-			errCh <- fmt.Errorf("runtime: %v exceeded %d steps", id, maxSteps)
 		}(id)
 	}
 	wg.Wait()

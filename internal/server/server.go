@@ -1,0 +1,660 @@
+// Package server exposes a core.System over TCP: the network
+// transaction service of the partial-rollback engine.
+//
+// One session goroutine serves each connection. A client ships a whole
+// transaction program (Begin, operations, Commit — see internal/wire),
+// the session registers it and drives it to commit with the shared
+// re-execution loop from internal/exec: when the engine picks the
+// transaction as a deadlock victim it is partially rolled back and the
+// loop transparently re-executes it from the rollback point, exactly as
+// the in-process runtime does. Each §2 rollback is streamed to the
+// client as a RolledBack notification; the final reply is Committed
+// (with the transaction's outcome counters) or an Error frame.
+//
+// The server bounds everything: concurrent sessions (with a bounded
+// accept backlog beyond which connections are refused with CodeBusy),
+// per-message read deadlines, and a per-transaction execution deadline
+// after which the transaction is rolled back to its initial state and
+// the client told to retry (CodeRolledBack). Shutdown drains in-flight
+// transactions until the caller's context expires, then rolls back the
+// rest, so the store is always left consistent and no goroutine
+// outlives the server.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/deadlock"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/exec"
+	"partialrollback/internal/hybrid"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the global database served. Required.
+	Store *entity.Store
+	// Strategy, Policy, Prevention, HybridBudget and HybridAllocator
+	// configure the engine exactly as core.Config does.
+	Strategy        core.Strategy
+	Policy          deadlock.Policy
+	Prevention      core.Prevention
+	HybridBudget    int
+	HybridAllocator hybrid.Allocator
+	// MaxSessions bounds concurrently served connections. Default 256.
+	MaxSessions int
+	// Backlog bounds connections allowed to wait for a session slot;
+	// beyond it connections are refused with CodeBusy. Default 32.
+	Backlog int
+	// IdleTimeout is the per-message read deadline. Default 2m.
+	IdleTimeout time.Duration
+	// RequestTimeout bounds one transaction's execution, queueing
+	// included; past it the transaction is rolled back to its initial
+	// state and the client told to retry. Default 30s.
+	RequestTimeout time.Duration
+	// MaxStepsPerTxn bounds engine steps per transaction (0: 1M).
+	MaxStepsPerTxn int
+	// StarvationLimit forwards to core.Config.StarvationLimit.
+	StarvationLimit int
+	// OnEvent, when non-nil, additionally receives every engine event.
+	OnEvent func(core.Event)
+	// Logf, when non-nil, receives serving diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server is the network transaction service. Create with New, start
+// with Listen (or serve individual connections with ServeConn), stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	sys   *core.System
+	notif *exec.Notifier
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	routes   map[txn.ID]*session
+	draining bool
+
+	sem     chan struct{}
+	backlog chan struct{}
+	wg      sync.WaitGroup
+
+	sessionsTotal  atomic.Int64
+	sessionsActive atomic.Int64
+	txnsServed     atomic.Int64
+	bytesIn        atomic.Int64
+	bytesOut       atomic.Int64
+	busyRejected   atomic.Int64
+	protoErrors    atomic.Int64
+	notifyDropped  atomic.Int64
+}
+
+// New creates a Server around a fresh engine. It panics if cfg.Store is
+// nil (matching core.New).
+func New(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 256
+	}
+	if cfg.Backlog <= 0 {
+		cfg.Backlog = 32
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		notif:   exec.NewNotifier(),
+		drainCh: make(chan struct{}),
+		conns:   map[net.Conn]bool{},
+		routes:  map[txn.ID]*session{},
+		sem:     make(chan struct{}, cfg.MaxSessions),
+		backlog: make(chan struct{}, cfg.Backlog),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.sys = core.New(core.Config{
+		Store:           cfg.Store,
+		Strategy:        cfg.Strategy,
+		Policy:          cfg.Policy,
+		Prevention:      cfg.Prevention,
+		HybridBudget:    cfg.HybridBudget,
+		HybridAllocator: cfg.HybridAllocator,
+		StarvationLimit: cfg.StarvationLimit,
+		OnEvent:         s.onEvent,
+	})
+	return s
+}
+
+// System exposes the underlying engine (inspection, embedding, tests).
+func (s *Server) System() *core.System { return s.sys }
+
+// onEvent fans engine events out to the wake notifier, the owning
+// session's rollback-notification stream, and the configured tap.
+func (s *Server) onEvent(e core.Event) {
+	s.notif.OnEvent(e)
+	if e.Kind == core.EventRollback {
+		s.mu.Lock()
+		sess := s.routes[e.Txn]
+		s.mu.Unlock()
+		if sess != nil {
+			sess.trySend(wire.RolledBack{
+				Txn:         int64(e.Txn),
+				ToLockState: int64(e.ToLockState),
+				FromState:   e.FromState,
+				ToState:     e.ToState,
+				Lost:        e.Lost,
+			})
+		}
+	}
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(e)
+	}
+}
+
+// Listen binds addr and starts accepting connections.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			s.cfg.Logf("server: accept: %v", err)
+			return
+		}
+		if s.isDraining() {
+			conn.Close()
+			continue
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() { <-s.sem }()
+				s.runSession(conn)
+			}()
+		default:
+			select {
+			case s.backlog <- struct{}{}:
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					select {
+					case s.sem <- struct{}{}:
+						<-s.backlog
+						defer func() { <-s.sem }()
+						s.runSession(conn)
+					case <-s.drainCh:
+						<-s.backlog
+						conn.Close()
+					}
+				}()
+			default:
+				s.busyRejected.Add(1)
+				_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				_, _ = wire.WriteMsg(conn, wire.Error{Code: wire.CodeBusy, Msg: "session limit and backlog full"})
+				conn.Close()
+			}
+		}
+	}
+}
+
+// ServeConn serves a single connection in the calling goroutine,
+// returning when the session ends. It blocks while the session limit is
+// reached. Intended for tests (net.Pipe) and embedding.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.drainCh:
+		conn.Close()
+		return
+	}
+	defer func() { <-s.sem }()
+	s.runSession(conn)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops accepting, lets in-flight transactions finish until
+// ctx expires, then rolls back the rest and closes every connection. It
+// returns once every session goroutine has exited; the returned error
+// is ctx.Err() when the drain deadline forced rollbacks, nil otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if !already {
+		close(s.drainCh)
+	}
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	// Drain: poke blocked readers so idle sessions notice; sessions
+	// mid-transaction keep executing.
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.pokeConns()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			goto force
+		case <-ticker.C:
+		}
+	}
+
+force:
+	// Force: cancel the base context so every in-flight transaction's
+	// StepToCommit returns and the session rolls it back. Sessions get
+	// a short grace period to deliver that verdict before their
+	// connections are closed outright.
+	s.cancel()
+	graceUntil := time.Now().Add(500 * time.Millisecond)
+	for {
+		s.pokeConns()
+		if time.Now().After(graceUntil) {
+			s.closeConns()
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) pokeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(now)
+	}
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Counters returns the serving and engine counter snapshot reported to
+// STATS requests, sorted by name.
+func (s *Server) Counters() []wire.Counter {
+	st := s.sys.Stats()
+	out := []wire.Counter{
+		{Name: "aborts", Val: st.Aborts},
+		{Name: "bytes_in", Val: s.bytesIn.Load()},
+		{Name: "bytes_out", Val: s.bytesOut.Load()},
+		{Name: "busy_rejected", Val: s.busyRejected.Load()},
+		{Name: "commits", Val: st.Commits},
+		{Name: "deadlocks", Val: st.Deadlocks},
+		{Name: "grants", Val: st.Grants},
+		{Name: "notify_dropped", Val: s.notifyDropped.Load()},
+		{Name: "ops_lost", Val: st.OpsLost},
+		{Name: "proto_errors", Val: s.protoErrors.Load()},
+		{Name: "rollbacks_partial", Val: st.Rollbacks - st.Restarts},
+		{Name: "rollbacks_total", Val: st.Restarts},
+		{Name: "sessions_active", Val: s.sessionsActive.Load()},
+		{Name: "sessions_total", Val: s.sessionsTotal.Load()},
+		{Name: "steps", Val: st.Steps},
+		{Name: "txns_served", Val: s.txnsServed.Load()},
+		{Name: "waits", Val: st.Waits},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// session serves one connection.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	outMu     sync.Mutex
+	out       chan wire.Msg
+	outClosed bool
+}
+
+// trySend enqueues a message without blocking (notifications are
+// droppable; the engine mutex may be held by the caller).
+func (ss *session) trySend(m wire.Msg) {
+	ss.outMu.Lock()
+	defer ss.outMu.Unlock()
+	if ss.outClosed {
+		return
+	}
+	select {
+	case ss.out <- m:
+	default:
+		ss.srv.notifyDropped.Add(1)
+	}
+}
+
+// send enqueues a reply, blocking until the writer drains it. The
+// writer never stops consuming before the channel closes, so this
+// cannot deadlock.
+func (ss *session) send(m wire.Msg) {
+	ss.outMu.Lock()
+	if ss.outClosed {
+		ss.outMu.Unlock()
+		return
+	}
+	ss.outMu.Unlock()
+	ss.out <- m
+}
+
+func (ss *session) closeOut() {
+	ss.outMu.Lock()
+	defer ss.outMu.Unlock()
+	if !ss.outClosed {
+		ss.outClosed = true
+		close(ss.out)
+	}
+}
+
+func (s *Server) runSession(conn net.Conn) {
+	s.sessionsTotal.Add(1)
+	s.sessionsActive.Add(1)
+	defer s.sessionsActive.Add(-1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = true
+	s.mu.Unlock()
+
+	ss := &session{srv: s, conn: conn, out: make(chan wire.Msg, 128)}
+
+	// Writer: the single goroutine that touches the connection's write
+	// side. On write failure it keeps draining so senders never block.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		failed := false
+		for m := range ss.out {
+			if failed {
+				continue
+			}
+			frame, err := wire.Encode(m)
+			if err != nil {
+				s.cfg.Logf("server: encode %s: %v", m.Type(), err)
+				continue
+			}
+			// Count before the write: a pipe write unblocks the peer,
+			// who may immediately request a counter snapshot.
+			s.bytesOut.Add(int64(len(frame)))
+			_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if _, err := conn.Write(frame); err != nil {
+				failed = true
+			}
+		}
+	}()
+
+	defer func() {
+		ss.closeOut()
+		<-writerDone
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	for {
+		if s.isDraining() {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		m, n, err := wire.ReadMsg(conn)
+		s.bytesIn.Add(int64(n))
+		if err != nil {
+			// Idle sessions (between transactions) are closed without
+			// ceremony — notably when the shutdown drain pokes their
+			// read deadline; a notice nobody is reading for would only
+			// stall the drain on the write.
+			if errors.Is(err, wire.ErrProtocol) {
+				s.protoErrors.Add(1)
+				ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+			}
+			return
+		}
+		switch x := m.(type) {
+		case wire.Stats:
+			ss.send(wire.StatsReply{Counters: s.Counters()})
+		case wire.Begin:
+			if closeConn := s.handleTxn(ss, x); closeConn {
+				return
+			}
+		default:
+			s.protoErrors.Add(1)
+			ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected %s outside transaction", m.Type())})
+			return
+		}
+	}
+}
+
+// handleTxn consumes the rest of one transaction's message sequence,
+// executes it, and replies. It reports whether the connection must be
+// closed (protocol desync or shutdown).
+func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
+	asm := wire.NewAssembler(begin)
+	for {
+		_ = ss.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		m, n, err := wire.ReadMsg(ss.conn)
+		s.bytesIn.Add(int64(n))
+		if err != nil {
+			if errors.Is(err, wire.ErrProtocol) {
+				s.protoErrors.Add(1)
+				ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+			} else if s.isDraining() {
+				ss.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+			} else {
+				ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: "connection error mid-transaction"})
+			}
+			return true
+		}
+		done, err := asm.Feed(m)
+		if err != nil {
+			s.protoErrors.Add(1)
+			ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+			return true
+		}
+		if done {
+			break
+		}
+	}
+	if s.isDraining() {
+		ss.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+		return true
+	}
+	prog, err := asm.Program()
+	if err != nil {
+		// The message stream was well-formed; only the program was
+		// invalid. The session may submit further transactions.
+		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return false
+	}
+	id, err := s.sys.Register(prog)
+	if err != nil {
+		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return false
+	}
+	s.txnsServed.Add(1)
+	wake := s.notif.Register(id)
+	s.mu.Lock()
+	s.routes[id] = ss
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.routes, id)
+		s.mu.Unlock()
+		s.notif.Unregister(id)
+	}()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	err = exec.StepToCommit(ctx, s.sys, id, wake, s.cfg.MaxStepsPerTxn)
+	cancel()
+	switch {
+	case err == nil:
+		ss.send(s.committedReply(id))
+		return false
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return s.abortAndReply(ss, id)
+	default:
+		s.cfg.Logf("server: txn %v: %v", id, err)
+		if aerr := s.sys.Abort(id); aerr != nil && !errors.Is(aerr, core.ErrCommitted) {
+			if errors.Is(aerr, core.ErrShrinking) {
+				_ = s.drainShrinking(id)
+			} else {
+				s.cfg.Logf("server: abort %v: %v", id, aerr)
+			}
+		}
+		ss.send(wire.Error{Code: wire.CodeInternal, Msg: err.Error()})
+		return true
+	}
+}
+
+// abortAndReply rolls a deadline- or shutdown-interrupted transaction
+// back. Races with completion are benign: a transaction that committed
+// first is reported as committed; one already in its shrinking phase
+// can never block again and is stepped to commit synchronously.
+func (s *Server) abortAndReply(ss *session, id txn.ID) (closeConn bool) {
+	err := s.sys.Abort(id)
+	switch {
+	case err == nil:
+		code, msg := wire.CodeRolledBack, "request deadline exceeded; transaction rolled back"
+		if s.isDraining() {
+			code, msg = wire.CodeShutdown, "server shutting down; transaction rolled back"
+		}
+		ss.send(wire.Error{Code: code, Msg: msg})
+		return s.isDraining()
+	case errors.Is(err, core.ErrCommitted):
+		ss.send(s.committedReply(id))
+		return false
+	case errors.Is(err, core.ErrShrinking):
+		if derr := s.drainShrinking(id); derr != nil {
+			s.cfg.Logf("server: drain %v: %v", id, derr)
+			ss.send(wire.Error{Code: wire.CodeInternal, Msg: derr.Error()})
+			return true
+		}
+		ss.send(s.committedReply(id))
+		return false
+	default:
+		ss.send(wire.Error{Code: wire.CodeInternal, Msg: err.Error()})
+		return true
+	}
+}
+
+// drainShrinking steps a transaction that has entered its shrinking
+// phase to commit. No remaining operation can block (no lock requests
+// follow an unlock), so this terminates within the program's length.
+func (s *Server) drainShrinking(id txn.ID) error {
+	for i := 0; i < wire.MaxOps+2; i++ {
+		res, err := s.sys.Step(id)
+		if err != nil {
+			return err
+		}
+		if res.Outcome == core.Committed || res.Outcome == core.AlreadyCommitted {
+			return nil
+		}
+	}
+	return fmt.Errorf("server: %v did not commit while draining", id)
+}
+
+// committedReply snapshots a committed transaction's outcome and
+// retires its engine state.
+func (s *Server) committedReply(id txn.ID) wire.Committed {
+	st := s.sys.TxnStatsOf(id)
+	locals, _ := s.sys.Locals(id)
+	decls := make([]wire.LocalDecl, 0, len(locals))
+	for name, v := range locals {
+		decls = append(decls, wire.LocalDecl{Name: name, Val: v})
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Name < decls[j].Name })
+	_ = s.sys.Forget(id)
+	return wire.Committed{
+		Txn:    int64(id),
+		Locals: decls,
+		Stats: wire.TxnOutcome{
+			OpsExecuted: st.OpsExecuted,
+			OpsLost:     st.OpsLost,
+			Rollbacks:   st.Rollbacks,
+			Restarts:    st.Restarts,
+			Waits:       st.Waits,
+		},
+	}
+}

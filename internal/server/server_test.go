@@ -1,0 +1,509 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"partialrollback/internal/client"
+	"partialrollback/internal/core"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/exec"
+	"partialrollback/internal/sim"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/wire"
+)
+
+// pipeClient returns a client whose dials are served by srv over
+// net.Pipe — a full end-to-end path with no sockets.
+func pipeClient(srv *Server, cfg client.Config) *client.Client {
+	cfg.Dial = func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		return cc, nil
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Backoff == (exec.Backoff{}) {
+		cfg.Backoff = exec.Backoff{Base: 100 * time.Microsecond, Cap: 2 * time.Millisecond}
+	}
+	return client.New(cfg)
+}
+
+func counter(t *testing.T, srv *Server, name string) int64 {
+	t.Helper()
+	for _, c := range srv.Counters() {
+		if c.Name == name {
+			return c.Val
+		}
+	}
+	t.Fatalf("no counter %q", name)
+	return 0
+}
+
+// waitGoroutines polls until the goroutine count returns to at most
+// base (new runs of the GC or test framework may add their own, so a
+// small slack is allowed before failing).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > base %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPipeE2EBanking runs 8 concurrent clients of banking transfers
+// through the full wire/server/client path (run with -race). Every
+// transfer must commit, with zero protocol errors and a consistent
+// store.
+func TestPipeE2EBanking(t *testing.T) {
+	const clients, perClient, accounts = 8, 12, 6
+	w := sim.BankingWorkload(accounts, clients*perClient, 100, 42)
+	store := w.NewStore()
+	srv := New(Config{
+		Store:          store,
+		Strategy:       core.SDG,
+		RequestTimeout: 15 * time.Second,
+	})
+	base := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		progs := w.Programs[i*perClient : (i+1)*perClient]
+		c := pipeClient(srv, client.Config{Seed: int64(i + 1), MaxAttempts: 8})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for _, p := range progs {
+				if _, err := c.Run(context.Background(), p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if got := counter(t, srv, "proto_errors"); got != 0 {
+		t.Errorf("proto_errors = %d, want 0", got)
+	}
+	if got := counter(t, srv, "commits"); got != clients*perClient {
+		t.Errorf("commits = %d, want %d", got, clients*perClient)
+	}
+	if err := store.CheckConsistent(); err != nil {
+		t.Error(err)
+	}
+	if err := srv.System().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestGracefulShutdownDrainsInFlight blocks a client transaction on a
+// lock held directly through the engine, starts Shutdown, then releases
+// the lock: the in-flight transaction must commit, Shutdown must return
+// nil, and no goroutine may outlive the server.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	store := entity.NewUniformStore("e", 4, 100)
+	srv := New(Config{Store: store})
+	base := runtime.NumGoroutine()
+
+	holder := srv.System().MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	if _, err := srv.System().Step(holder); err != nil { // holder takes e0
+		t.Fatal(err)
+	}
+
+	c := pipeClient(srv, client.Config{Seed: 1})
+	defer c.Close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := c.RunOnce(sim.TransferProgram("inflight", "e0", "e2", 5, 0))
+		resCh <- err
+	}()
+
+	// Wait until the client transaction is registered and parked.
+	waitFor(t, func() bool { return srv.System().Stats().Waits > 0 })
+
+	shutCh := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutCh <- srv.Shutdown(ctx) }()
+
+	// The drain must not finish while the transaction is blocked.
+	select {
+	case err := <-shutCh:
+		t.Fatalf("shutdown returned %v with a transaction in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the lock: the in-flight transaction commits, the drain
+	// completes.
+	driveToCommit(t, srv, holder)
+	if err := <-resCh; err != nil {
+		t.Fatalf("in-flight transaction: %v", err)
+	}
+	if err := <-shutCh; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := store.CheckConsistent(); err != nil {
+		t.Error(err)
+	}
+	if v := store.MustGet("e2"); v != 105 {
+		t.Errorf("e2 = %d, want 105 (in-flight transfer applied)", v)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestForcedShutdownRollsBackInFlight keeps the blocking lock held so
+// the drain deadline expires: the in-flight transaction must be rolled
+// back to its initial state, the client told CodeShutdown, and the
+// store left untouched by it.
+func TestForcedShutdownRollsBackInFlight(t *testing.T) {
+	store := entity.NewUniformStore("e", 4, 100)
+	srv := New(Config{Store: store})
+	base := runtime.NumGoroutine()
+
+	holder := srv.System().MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	if _, err := srv.System().Step(holder); err != nil {
+		t.Fatal(err)
+	}
+
+	c := pipeClient(srv, client.Config{Seed: 1})
+	defer c.Close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := c.RunOnce(sim.TransferProgram("inflight", "e0", "e2", 5, 0))
+		resCh <- err
+	}()
+	waitFor(t, func() bool { return srv.System().Stats().Waits > 0 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want DeadlineExceeded (forced)", err)
+	}
+
+	err = <-resCh
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("in-flight err = %v, want ServerError", err)
+	}
+	if se.Code != wire.CodeShutdown || !errors.Is(err, client.ErrRolledBack) {
+		t.Errorf("code = %s, want shutdown (retryable)", se.Code)
+	}
+	if got := srv.System().Stats().Aborts; got != 1 {
+		t.Errorf("aborts = %d, want 1", got)
+	}
+	// Only the untouched holder remains; the store shows no trace of
+	// the aborted transfer.
+	if v := store.MustGet("e2"); v != 100 {
+		t.Errorf("e2 = %d, want 100", v)
+	}
+	if err := srv.System().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRequestDeadlineExpiry submits a transaction that blocks past the
+// server's RequestTimeout: the server rolls it back and tells the
+// client to retry; after the lock is released the retry commits.
+func TestRequestDeadlineExpiry(t *testing.T) {
+	store := entity.NewUniformStore("e", 4, 100)
+	srv := New(Config{Store: store, RequestTimeout: 100 * time.Millisecond})
+	holder := srv.System().MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	if _, err := srv.System().Step(holder); err != nil {
+		t.Fatal(err)
+	}
+
+	c := pipeClient(srv, client.Config{Seed: 1})
+	defer c.Close()
+	prog := sim.TransferProgram("deadline", "e0", "e2", 5, 0)
+	_, err := c.RunOnce(prog)
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeRolledBack {
+		t.Fatalf("err = %v, want CodeRolledBack", err)
+	}
+	if !errors.Is(err, client.ErrRolledBack) {
+		t.Error("deadline refusal must match ErrRolledBack")
+	}
+
+	// Release the lock; the same connection retries and commits.
+	driveToCommit(t, srv, holder)
+	res, err := c.RunOnce(prog)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if res.Outcome.OpsExecuted == 0 {
+		t.Error("committed transaction reports no executed operations")
+	}
+	if v := store.MustGet("e2"); v != 105 {
+		t.Errorf("e2 = %d, want 105", v)
+	}
+	shutdownNow(t, srv)
+}
+
+// TestMalformedFrames sends garbage and truncated frames: the session
+// must answer CodeBadRequest (when a reply is possible), close the
+// connection, and count a protocol error — without disturbing the
+// engine.
+func TestMalformedFrames(t *testing.T) {
+	store := entity.NewUniformStore("e", 4, 100)
+	srv := New(Config{Store: store})
+
+	t.Run("garbage", func(t *testing.T) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		// Valid length prefix, bad version.
+		cc.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := cc.Write([]byte{0, 0, 0, 2, 99, 99}); err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := wire.ReadMsg(cc)
+		if err != nil {
+			t.Fatalf("read reply: %v", err)
+		}
+		e, ok := m.(wire.Error)
+		if !ok || e.Code != wire.CodeBadRequest {
+			t.Fatalf("reply %+v, want CodeBadRequest", m)
+		}
+		// The server must close the connection after a protocol error.
+		if _, _, err := wire.ReadMsg(cc); err == nil {
+			t.Error("connection still open after protocol error")
+		}
+		cc.Close()
+	})
+
+	t.Run("truncated mid-transaction", func(t *testing.T) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		cc.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := wire.WriteMsg(cc, wire.Begin{Name: "t", Locals: []wire.LocalDecl{{Name: "x"}}}); err != nil {
+			t.Fatal(err)
+		}
+		cc.Close() // connection dies mid-upload
+	})
+
+	t.Run("op outside transaction", func(t *testing.T) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		cc.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := wire.WriteMsg(cc, wire.Lock{Entity: "e0", Exclusive: true}); err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := wire.ReadMsg(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e, ok := m.(wire.Error); !ok || e.Code != wire.CodeBadRequest {
+			t.Fatalf("reply %+v, want CodeBadRequest", m)
+		}
+		cc.Close()
+	})
+
+	waitFor(t, func() bool { return counter(t, srv, "sessions_active") == 0 })
+	if got := counter(t, srv, "proto_errors"); got < 2 {
+		t.Errorf("proto_errors = %d, want >= 2", got)
+	}
+	if err := srv.System().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	shutdownNow(t, srv)
+}
+
+// TestBadProgramKeepsSession verifies that a well-framed but invalid
+// program (unknown entity) yields CodeBadRequest while the session
+// stays usable.
+func TestBadProgramKeepsSession(t *testing.T) {
+	store := entity.NewUniformStore("e", 2, 0)
+	srv := New(Config{Store: store})
+	c := pipeClient(srv, client.Config{Seed: 1})
+	defer c.Close()
+
+	_, err := c.RunOnce(sim.TransferProgram("bad", "nosuch", "e0", 1, 0))
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeBadRequest {
+		t.Fatalf("err = %v, want CodeBadRequest", err)
+	}
+	// Same connection, valid program: must commit.
+	if _, err := c.RunOnce(sim.TransferProgram("good", "e0", "e1", 1, 0)); err != nil {
+		t.Fatalf("after bad program: %v", err)
+	}
+	shutdownNow(t, srv)
+}
+
+// TestStatsOverWire asks for the counter snapshot after a commit.
+func TestStatsOverWire(t *testing.T) {
+	store := entity.NewUniformStore("e", 2, 0)
+	srv := New(Config{Store: store})
+	c := pipeClient(srv, client.Config{Seed: 1})
+	defer c.Close()
+	if _, err := c.RunOnce(sim.TransferProgram("t", "e0", "e1", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	counters, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for _, cn := range counters {
+		byName[cn.Name] = cn.Val
+	}
+	if byName["commits"] != 1 || byName["txns_served"] != 1 || byName["sessions_total"] != 1 {
+		t.Errorf("counters = %v", byName)
+	}
+	if byName["bytes_in"] == 0 || byName["bytes_out"] == 0 {
+		t.Errorf("byte counters not advancing: %v", byName)
+	}
+	shutdownNow(t, srv)
+}
+
+// TestListenBusyReject fills the session limit and backlog over real
+// TCP and verifies the next connection is refused with CodeBusy.
+func TestListenBusyReject(t *testing.T) {
+	store := entity.NewUniformStore("e", 2, 0)
+	srv := New(Config{Store: store, MaxSessions: 1, Backlog: 1})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		return conn
+	}
+
+	// Occupy the one session slot (round-trip proves it is serving).
+	c1 := dial()
+	defer c1.Close()
+	if _, err := wire.WriteMsg(c1, wire.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wire.ReadMsg(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the backlog.
+	c2 := dial()
+	defer c2.Close()
+	waitFor(t, func() bool { return len(srv.backlog) == 1 })
+
+	// The next connection must be refused.
+	c3 := dial()
+	defer c3.Close()
+	m, _, err := wire.ReadMsg(c3)
+	if err != nil {
+		t.Fatalf("read busy reply: %v", err)
+	}
+	if e, ok := m.(wire.Error); !ok || e.Code != wire.CodeBusy {
+		t.Fatalf("reply %+v, want CodeBusy", m)
+	}
+	if got := counter(t, srv, "busy_rejected"); got != 1 {
+		t.Errorf("busy_rejected = %d, want 1", got)
+	}
+	shutdownNow(t, srv)
+}
+
+// TestSessionLimitOverTCP drives several clients through a real
+// listener with a small session limit; backlogged connections are
+// served as slots free.
+func TestSessionLimitOverTCP(t *testing.T) {
+	store := entity.NewUniformStore("e", 8, 100)
+	srv := New(Config{Store: store, MaxSessions: 2, Backlog: 8, Strategy: core.MCS})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		c := client.New(client.Config{Addr: addr, Seed: int64(i + 1), RequestTimeout: 10 * time.Second,
+			Backoff: exec.Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond}})
+		from, to := i%8, (i+3)%8
+		prog := sim.TransferProgram("t", entName(from), entName(to), 1, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			if _, err := c.Run(context.Background(), prog); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := counter(t, srv, "commits"); got != 6 {
+		t.Errorf("commits = %d, want 6", got)
+	}
+	shutdownNow(t, srv)
+}
+
+func entName(i int) string { return "e" + string(rune('0'+i)) }
+
+// driveToCommit steps a directly-registered transaction to commit.
+func driveToCommit(t *testing.T, srv *Server, id txn.ID) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		res, err := srv.System().Step(id)
+		if err != nil {
+			t.Fatalf("step %v: %v", id, err)
+		}
+		if res.Outcome == core.Committed || res.Outcome == core.AlreadyCommitted {
+			return
+		}
+	}
+	t.Fatalf("%v did not commit in 1000 steps", id)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func shutdownNow(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"partialrollback/internal/sim"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteMsg(&buf, m)
+	if err != nil {
+		t.Fatalf("write %T: %v", m, err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("write %T reported %d bytes, buffered %d", m, n, buf.Len())
+	}
+	got, rn, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatalf("read %T: %v", m, err)
+	}
+	if rn != n {
+		t.Fatalf("read %T consumed %d bytes, wrote %d", m, rn, n)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Msg{
+		Begin{Name: "T1", Locals: []LocalDecl{{"a", 1}, {"b", -7}}},
+		Begin{Name: "empty"},
+		Lock{Entity: "e0"},
+		Lock{Entity: "e1", Exclusive: true},
+		Unlock{Entity: "e0"},
+		Read{Entity: "e1", Local: "a"},
+		Write{Entity: "e1", Expr: value.Add(value.L("a"), value.C(3))},
+		Compute{Local: "b", Expr: value.Mod(value.Mul(value.L("a"), value.C(-2)), value.C(7))},
+		LastLock{},
+		Commit{},
+		Stats{},
+		Committed{Txn: 42, Locals: []LocalDecl{{"a", 9}}, Stats: TxnOutcome{
+			OpsExecuted: 10, OpsLost: 3, Rollbacks: 2, Restarts: 1, Waits: 4}},
+		RolledBack{Txn: 7, ToLockState: 2, FromState: 19, ToState: 13, Lost: 6},
+		Error{Code: CodeRolledBack, Msg: "deadline"},
+		StatsReply{Counters: []Counter{{"grants", 12}, {"waits", -1}}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T: got %#v, want %#v", m, got, m)
+		}
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	progs := []*txn.Program{
+		sim.TransferProgram("xfer", "e0", "e1", 5, 3),
+		txn.NewProgram("mix").
+			Local("x", 2).Local("y", 0).
+			LockS("e0").Read("e0", "x").
+			LockX("e1").Read("e1", "y").
+			Compute("y", value.Max(value.L("x"), value.L("y"))).
+			DeclareLastLock().
+			Write("e1", value.Add(value.L("y"), value.C(1))).
+			Unlock("e1").
+			MustBuild(),
+	}
+	for _, w := range sim.Generate(sim.GenConfig{Txns: 6, Seed: 11, Shape: sim.Mixed, SharedProb: 0.3}).Programs {
+		progs = append(progs, w)
+	}
+	for _, p := range progs {
+		msgs, err := ProgramMsgs(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		begin, ok := msgs[0].(Begin)
+		if !ok {
+			t.Fatalf("%s: first message is %T", p.Name, msgs[0])
+		}
+		a := NewAssembler(begin)
+		for i, m := range msgs[1:] {
+			// Exercise the full codec: encode, decode, then feed.
+			frame, err := Encode(m)
+			if err != nil {
+				t.Fatalf("%s msg %d: %v", p.Name, i, err)
+			}
+			dm, err := Decode(frame[4:])
+			if err != nil {
+				t.Fatalf("%s msg %d: %v", p.Name, i, err)
+			}
+			done, err := a.Feed(dm)
+			if err != nil {
+				t.Fatalf("%s msg %d: %v", p.Name, i, err)
+			}
+			if done != (i == len(msgs)-2) {
+				t.Fatalf("%s msg %d: done=%v", p.Name, i, done)
+			}
+		}
+		got, err := a.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("%s: program round trip mismatch:\n got %v\nwant %v", p.Name, got, p)
+		}
+	}
+}
+
+func TestAssemblerRejectsInvalid(t *testing.T) {
+	// Write without a lock: protocol-valid messages, invalid program.
+	a := NewAssembler(Begin{Name: "bad", Locals: []LocalDecl{{"x", 0}}})
+	for _, m := range []Msg{Write{Entity: "e0", Expr: value.C(1)}, Commit{}} {
+		if _, err := a.Feed(m); err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+	}
+	if _, err := a.Program(); err == nil {
+		t.Error("invalid program assembled without error")
+	}
+
+	// Unexpected message kind inside a transaction.
+	a = NewAssembler(Begin{Name: "bad2"})
+	if _, err := a.Feed(Stats{}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("feeding Stats: got %v, want ErrProtocol", err)
+	}
+
+	// Incomplete program.
+	a = NewAssembler(Begin{Name: "bad3"})
+	if _, err := a.Program(); !errors.Is(err, ErrProtocol) {
+		t.Error("assembling before Commit should fail")
+	}
+}
+
+func TestReadMsgErrors(t *testing.T) {
+	valid, err := Encode(Lock{Entity: "e0", Exclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated header", func(t *testing.T) {
+		_, _, err := ReadMsg(bytes.NewReader(valid[:3]))
+		if err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		_, _, err := ReadMsg(bytes.NewReader(valid[:len(valid)-2]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("got %v, want unexpected EOF", err)
+		}
+	})
+	t.Run("oversize frame", func(t *testing.T) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+		_, _, err := ReadMsg(bytes.NewReader(hdr[:]))
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("got %v, want ErrProtocol", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		frame := append([]byte(nil), valid...)
+		frame[4] = Version + 1
+		_, _, err := ReadMsg(bytes.NewReader(frame))
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("got %v, want ErrProtocol", err)
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		frame := append([]byte(nil), valid...)
+		frame[5] = 0xEE
+		_, _, err := ReadMsg(bytes.NewReader(frame))
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("got %v, want ErrProtocol", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		frame := append([]byte(nil), valid...)
+		frame = append(frame, 0x01)
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+		_, _, err := ReadMsg(bytes.NewReader(frame))
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("got %v, want ErrProtocol", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		// Claimed string longer than the remaining payload.
+		payload := []byte{Version, byte(TUnlock), 0x20, 'a'}
+		if _, err := Decode(payload); !errors.Is(err, ErrProtocol) {
+			t.Errorf("got %v, want ErrProtocol", err)
+		}
+	})
+}
+
+func TestExprLimits(t *testing.T) {
+	deep := value.Expr(value.C(1))
+	for i := 0; i < MaxExprDepth+2; i++ {
+		deep = value.Add(deep, value.C(1))
+	}
+	frame, err := Encode(Write{Entity: "e0", Expr: deep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(frame[4:]); !errors.Is(err, ErrProtocol) {
+		t.Errorf("deep expression: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for code, want := range map[ErrCode]bool{
+		CodeBadRequest: false, CodeRolledBack: true, CodeShutdown: true,
+		CodeBusy: true, CodeInternal: false,
+	} {
+		if got := code.Retryable(); got != want {
+			t.Errorf("%v retryable = %v, want %v", code, got, want)
+		}
+	}
+}

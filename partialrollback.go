@@ -26,12 +26,14 @@ package partialrollback
 import (
 	"io"
 
+	"partialrollback/internal/client"
 	"partialrollback/internal/core"
 	"partialrollback/internal/deadlock"
 	"partialrollback/internal/entity"
 	"partialrollback/internal/hybrid"
 	"partialrollback/internal/optimizer"
 	"partialrollback/internal/runtime"
+	"partialrollback/internal/server"
 	"partialrollback/internal/txn"
 	"partialrollback/internal/value"
 	"partialrollback/internal/wal"
@@ -238,3 +240,34 @@ type RunOutcome = runtime.Outcome
 func RunConcurrent(store *Store, programs []*Program, opt RunOptions) (*RunOutcome, error) {
 	return runtime.Run(store, programs, opt)
 }
+
+// Network transaction service: serve a System over TCP and submit
+// programs to it remotely (internal/server, internal/client; the wire
+// protocol is documented in internal/wire). cmd/prserver and cmd/prload
+// are ready-made binaries over the same API.
+type (
+	// ServerConfig configures a network Server.
+	ServerConfig = server.Config
+	// Server serves transaction programs over TCP: Listen, then
+	// Shutdown to drain.
+	Server = server.Server
+	// ClientConfig configures a network Client.
+	ClientConfig = client.Config
+	// Client submits programs to a Server, re-running them with
+	// jittered backoff when the server rolls them back. Not safe for
+	// concurrent use; run one per goroutine.
+	Client = client.Client
+	// ClientResult reports a transaction the server committed.
+	ClientResult = client.Result
+)
+
+// NewServer creates a network transaction server around a fresh engine.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewClient creates a network client. No connection is made until the
+// first request.
+func NewClient(cfg ClientConfig) *Client { return client.New(cfg) }
+
+// ErrRolledBack matches client errors whose server code is retryable
+// (the transaction was rolled back or refused transiently).
+var ErrRolledBack = client.ErrRolledBack

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Full verification gate: build everything, vet, then run every test
+# with the race detector. Run from the repository root:
+#
+#   ./scripts/check.sh
+#
+# CI and pre-merge checks should treat any non-zero exit as a failure.
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
