@@ -32,6 +32,7 @@ import (
 	"partialrollback/internal/exec"
 	"partialrollback/internal/sim"
 	"partialrollback/internal/txn"
+	"partialrollback/internal/wire"
 )
 
 var (
@@ -114,6 +115,42 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
+// printShardBalance summarizes the per-shard counters a sharded server
+// reports (shard<k>_grants, ...): grants per shard plus the max/min
+// ratio, the client-side view of partition imbalance.
+func printShardBalance(counters []wire.Counter) {
+	var n int64
+	for _, c := range counters {
+		if c.Name == "shards" {
+			n = c.Val
+		}
+	}
+	if n < 2 {
+		return
+	}
+	grants := make([]int64, n)
+	for _, c := range counters {
+		var k int64
+		if _, err := fmt.Sscanf(c.Name, "shard%d_grants", &k); err == nil && k < n {
+			grants[k] = c.Val
+		}
+	}
+	min, max := grants[0], grants[0]
+	for _, g := range grants[1:] {
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	ratio := "inf"
+	if min > 0 {
+		ratio = fmt.Sprintf("%.2f", float64(max)/float64(min))
+	}
+	fmt.Printf("shard balance: grants=%v max/min=%s\n", grants, ratio)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prload: ")
@@ -193,6 +230,7 @@ func main() {
 		for _, cn := range counters {
 			fmt.Printf("  %-18s %d\n", cn.Name, cn.Val)
 		}
+		printShardBalance(counters)
 	} else {
 		log.Printf("stats request failed: %v", err)
 	}

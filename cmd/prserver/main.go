@@ -48,6 +48,7 @@ var (
 	reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-transaction execution deadline")
 	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "per-message read deadline")
 	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	shards      = flag.Int("shards", 1, "engine shards (1 = single engine; >1 partitions the lock/wait-for/detection core)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
 )
 
@@ -109,6 +110,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1 (got %d)", *shards)
+	}
 	cfg := server.Config{
 		Store:          buildStore(),
 		Strategy:       st,
@@ -117,6 +121,7 @@ func main() {
 		Backlog:        *backlog,
 		RequestTimeout: *reqTimeout,
 		IdleTimeout:    *idleTimeout,
+		Shards:         *shards,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -125,8 +130,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d)",
-		srv.Addr(), *strategy, *policy, *entities, *accounts)
+	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d)",
+		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -79,6 +79,11 @@ type Config struct {
 	Policy deadlock.Policy
 	// RecordHistory enables the serializability recorder.
 	RecordHistory bool
+	// HistoryClock, when non-nil (and RecordHistory is set), makes the
+	// recorder stamp episodes against this shared clock instead of a
+	// private one. internal/shard gives every shard's System the same
+	// clock so their histories merge onto one global timeline.
+	HistoryClock *history.Clock
 	// MaxCycles bounds cycle enumeration per detection. Default 64.
 	MaxCycles int
 	// Prevention replaces detection with a timestamp rule (§3.3
@@ -253,7 +258,11 @@ func New(cfg Config) *System {
 		txns:   map[txn.ID]*tstate{},
 	}
 	if cfg.RecordHistory {
-		s.recorder = history.NewRecorder()
+		if cfg.HistoryClock != nil {
+			s.recorder = history.NewSharedClockRecorder(cfg.HistoryClock)
+		} else {
+			s.recorder = history.NewRecorder()
+		}
 	}
 	return s
 }

@@ -68,10 +68,11 @@ func (n *Notifier) Wake(id txn.ID) {
 	}
 }
 
-// OnEvent forwards grant/rollback/abort events as wakeups.
+// OnEvent forwards grant/rollback/abort/admit events as wakeups (admit:
+// a sharded engine placed a queued registration, making it runnable).
 func (n *Notifier) OnEvent(e core.Event) {
 	switch e.Kind {
-	case core.EventGrant, core.EventRollback, core.EventAbort:
+	case core.EventGrant, core.EventRollback, core.EventAbort, core.EventAdmit:
 		n.Wake(e.Txn)
 	}
 }
@@ -93,7 +94,7 @@ const ctxCheckInterval = 256
 // context ends first (the transaction is left registered; callers
 // abort or drain it), and an engine error otherwise. maxSteps <= 0
 // means 1,000,000.
-func StepToCommit(ctx context.Context, sys *core.System, id txn.ID, wake <-chan struct{}, maxSteps int) error {
+func StepToCommit(ctx context.Context, sys core.Engine, id txn.ID, wake <-chan struct{}, maxSteps int) error {
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
@@ -142,11 +143,17 @@ type Backoff struct {
 	Base time.Duration
 	// Cap bounds the delay. Default 250ms.
 	Cap time.Duration
+	// Jitter, when non-nil, supplies the jitter fraction in [0, 1) and
+	// supersedes both the rng argument and the global source. Inject a
+	// seeded (or constant) function to make retry timing deterministic
+	// in tests.
+	Jitter func() float64
 }
 
 // Delay returns the sleep before retry attempt k (0-based), drawing
-// jitter from rng (which must not be shared between goroutines without
-// locking; pass nil to use the global source).
+// jitter from b.Jitter if set, else from rng (which must not be shared
+// between goroutines without locking; pass nil to use the global
+// source).
 func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	base, cap := b.Base, b.Cap
 	if base <= 0 {
@@ -163,9 +170,12 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 		d = cap
 	}
 	var f float64
-	if rng != nil {
+	switch {
+	case b.Jitter != nil:
+		f = b.Jitter()
+	case rng != nil:
 		f = rng.Float64()
-	} else {
+	default:
 		f = rand.Float64()
 	}
 	jittered := time.Duration(f * float64(d))

@@ -161,3 +161,53 @@ func TestNotifierWakeUnknown(t *testing.T) {
 	n.Unregister(1)
 	n.Wake(1) // no-op after unregister
 }
+
+// TestBackoffJitterDeterminism: an injected Jitter source supersedes
+// both the rng argument and the global source, making retry timing
+// fully reproducible.
+func TestBackoffJitterDeterminism(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		src := rand.New(rand.NewSource(seed))
+		b := Backoff{Base: 2 * time.Millisecond, Cap: 64 * time.Millisecond,
+			Jitter: src.Float64}
+		// A deliberately different rng argument must be ignored.
+		decoy := rand.New(rand.NewSource(seed + 1000))
+		out := make([]time.Duration, 8)
+		for k := range out {
+			out[k] = b.Delay(k, decoy)
+		}
+		return out
+	}
+	a, b2 := delays(7), delays(7)
+	for k := range a {
+		if a[k] != b2[k] {
+			t.Fatalf("attempt %d: %v != %v with identical jitter seeds", k, a[k], b2[k])
+		}
+	}
+	c := delays(8)
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different jitter seeds produced identical delay sequences")
+	}
+
+	// A constant jitter fraction gives exact, closed-form delays.
+	half := Backoff{Base: 2 * time.Millisecond, Cap: 16 * time.Millisecond,
+		Jitter: func() float64 { return 0.5 }}
+	want := []time.Duration{
+		1 * time.Millisecond, // 2ms * 0.5
+		2 * time.Millisecond, // 4ms * 0.5
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped at 16ms
+	}
+	for k, w := range want {
+		if got := half.Delay(k, nil); got != w {
+			t.Errorf("attempt %d: delay %v, want %v", k, got, w)
+		}
+	}
+}

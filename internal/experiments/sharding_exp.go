@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"partialrollback/internal/core"
+	rt "partialrollback/internal/runtime"
+	"partialrollback/internal/sim"
+)
+
+// E16Row is one cell of the sharded-engine throughput sweep.
+type E16Row struct {
+	Shards     int
+	Elapsed    time.Duration
+	Throughput float64 // committed transactions per wall-clock second
+	Stats      core.Stats
+}
+
+// E16Sharding drives one hotspot workload through the concurrent
+// runtime (one goroutine per transaction) over 1, 2, 4 and 8 engine
+// shards and reports wall-clock throughput next to the deadlock-removal
+// cost counters. The single-shard row is the big-lock baseline every
+// other row is measured against; lost ops stay comparable across rows
+// because conflicting transactions are co-located on one shard, where
+// partial rollback applies exactly as in the unsharded engine.
+//
+// Unlike E1-E15 this table measures wall-clock time, so absolute
+// numbers are machine- and GOMAXPROCS-dependent; the shape (throughput
+// growing with shards until the hot set serializes everything) is the
+// reproducible claim.
+func E16Sharding(seed int64) ([]E16Row, *Table, error) {
+	t := &Table{
+		ID:     "E16",
+		Title:  "sharded engine: hotspot throughput and lost work vs shard count",
+		Header: []string{"shards", "commits", "elapsed", "txn/s", "deadlocks", "rollbacks", "lost ops"},
+	}
+	const txns = 96
+	var rows []E16Row
+	for _, shards := range []int{1, 2, 4, 8} {
+		w := sim.Generate(sim.GenConfig{
+			Txns: txns, DBSize: 192, HotSet: 12, HotProb: 0.4,
+			LocksPerTxn: 4, RewriteProb: 0.5, PadOps: 6,
+			Shape: sim.Mixed, Seed: seed,
+		})
+		store := w.NewStore()
+		start := time.Now()
+		out, err := rt.Run(store, w.Programs, rt.Options{
+			Strategy: core.MCS, Shards: shards,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("E16 shards=%d: %w", shards, err)
+		}
+		elapsed := time.Since(start)
+		if err := out.System.CheckInvariants(); err != nil {
+			return nil, nil, fmt.Errorf("E16 shards=%d: %w", shards, err)
+		}
+		if err := store.CheckConsistent(); err != nil {
+			return nil, nil, fmt.Errorf("E16 shards=%d: %w", shards, err)
+		}
+		s := out.Stats
+		if s.Commits != txns {
+			return nil, nil, fmt.Errorf("E16 shards=%d: %d of %d commits", shards, s.Commits, txns)
+		}
+		row := E16Row{
+			Shards:     shards,
+			Elapsed:    elapsed,
+			Throughput: float64(s.Commits) / elapsed.Seconds(),
+			Stats:      s,
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(shards)), itoa(s.Commits),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", row.Throughput),
+			itoa(s.Deadlocks), itoa(s.Rollbacks), itoa(s.OpsLost),
+		})
+	}
+	t.Notes = []string{
+		fmt.Sprintf("wall-clock table (GOMAXPROCS=%d): absolute txn/s is machine-dependent, the trend across shard counts is the claim", runtime.GOMAXPROCS(0)),
+		"conflicting transactions are co-located per shard, so every deadlock stays shard-local and partial rollback applies unchanged — lost ops do not grow with shard count",
+		"cross-shard claims queue for admission in registration order (§3.3's a-priori ordering at the shard boundary), trading some admission latency for lock-table parallelism",
+	}
+	return rows, t, nil
+}

@@ -25,6 +25,7 @@ import (
 	"partialrollback/internal/entity"
 	"partialrollback/internal/exec"
 	"partialrollback/internal/hybrid"
+	"partialrollback/internal/shard"
 	"partialrollback/internal/txn"
 )
 
@@ -41,11 +42,15 @@ type Options struct {
 	HybridAllocator hybrid.Allocator
 	// MaxStepsPerTxn bounds each transaction's total steps (0: 1M).
 	MaxStepsPerTxn int
+	// Shards selects the engine: 0 or 1 runs a single core.System, a
+	// larger value partitions the engine into that many shards
+	// (internal/shard) so disjoint transactions execute in parallel.
+	Shards int
 }
 
 // Outcome reports a completed concurrent run.
 type Outcome struct {
-	System *core.System
+	System core.Engine
 	Stats  core.Stats
 	IDs    []txn.ID
 }
@@ -55,7 +60,7 @@ type Outcome struct {
 // its step bound.
 func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, error) {
 	notif := exec.NewNotifier()
-	sys := core.New(core.Config{
+	cfg := core.Config{
 		Store:           store,
 		Strategy:        opt.Strategy,
 		Policy:          opt.Policy,
@@ -64,7 +69,13 @@ func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, e
 		HybridAllocator: opt.HybridAllocator,
 		RecordHistory:   opt.RecordHistory,
 		OnEvent:         notif.OnEvent,
-	})
+	}
+	var sys core.Engine
+	if opt.Shards > 1 {
+		sys = shard.New(opt.Shards, cfg)
+	} else {
+		sys = core.New(cfg)
+	}
 
 	ids := make([]txn.ID, 0, len(programs))
 	for _, p := range programs {

@@ -60,3 +60,40 @@ func TestConcurrentWithPrevention(t *testing.T) {
 		})
 	}
 }
+
+// TestConcurrentSharded runs the concurrent driver over multi-shard
+// engines (run with -race): a mixed hotspot workload must fully commit,
+// keep the store consistent, pass engine invariants, and stay
+// conflict-serializable in the merged history.
+func TestConcurrentSharded(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		for _, strat := range []core.Strategy{core.MCS, core.SDG} {
+			t.Run(fmt.Sprintf("shards%d/%v", shards, strat), func(t *testing.T) {
+				w := sim.Generate(sim.GenConfig{
+					Txns: 24, DBSize: 32, HotSet: 8, HotProb: 0.6,
+					LocksPerTxn: 4, RewriteProb: 0.5, PadOps: 2,
+					Shape: sim.Mixed, Seed: 13,
+				})
+				store := w.NewStore()
+				out, err := Run(store, w.Programs, Options{
+					Strategy: strat, RecordHistory: true, Shards: shards,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := store.CheckConsistent(); err != nil {
+					t.Fatal(err)
+				}
+				if out.Stats.Commits != 24 {
+					t.Errorf("commits = %d, want 24", out.Stats.Commits)
+				}
+				if err := out.System.CheckInvariants(); err != nil {
+					t.Error(err)
+				}
+				if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"partialrollback/internal/entity"
 	"partialrollback/internal/exec"
 	"partialrollback/internal/hybrid"
+	"partialrollback/internal/shard"
 	"partialrollback/internal/txn"
 	"partialrollback/internal/wire"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	MaxStepsPerTxn int
 	// StarvationLimit forwards to core.Config.StarvationLimit.
 	StarvationLimit int
+	// Shards selects the engine: 0 or 1 serves a single core.System, a
+	// larger value partitions the engine into that many shards
+	// (internal/shard) so sessions touching disjoint entities execute
+	// in parallel. The counter snapshot then carries per-shard
+	// counters (shard<k>_grants, ...) for imbalance diagnostics.
+	Shards int
 	// OnEvent, when non-nil, additionally receives every engine event.
 	OnEvent func(core.Event)
 	// Logf, when non-nil, receives serving diagnostics.
@@ -77,8 +84,11 @@ type Config struct {
 // with Shutdown.
 type Server struct {
 	cfg   Config
-	sys   *core.System
-	notif *exec.Notifier
+	sys   core.Engine
+	// sharded is non-nil when the engine is a shard.Engine; it exposes
+	// the per-shard counter snapshots.
+	sharded *shard.Engine
+	notif   *exec.Notifier
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -132,7 +142,7 @@ func New(cfg Config) *Server {
 		backlog: make(chan struct{}, cfg.Backlog),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.sys = core.New(core.Config{
+	ecfg := core.Config{
 		Store:           cfg.Store,
 		Strategy:        cfg.Strategy,
 		Policy:          cfg.Policy,
@@ -141,12 +151,18 @@ func New(cfg Config) *Server {
 		HybridAllocator: cfg.HybridAllocator,
 		StarvationLimit: cfg.StarvationLimit,
 		OnEvent:         s.onEvent,
-	})
+	}
+	if cfg.Shards > 1 {
+		s.sharded = shard.New(cfg.Shards, ecfg)
+		s.sys = s.sharded
+	} else {
+		s.sys = core.New(ecfg)
+	}
 	return s
 }
 
 // System exposes the underlying engine (inspection, embedding, tests).
-func (s *Server) System() *core.System { return s.sys }
+func (s *Server) System() core.Engine { return s.sys }
 
 // onEvent fans engine events out to the wake notifier, the owning
 // session's rollback-notification stream, and the configured tap.
@@ -372,6 +388,19 @@ func (s *Server) Counters() []wire.Counter {
 		{Name: "steps", Val: st.Steps},
 		{Name: "txns_served", Val: s.txnsServed.Load()},
 		{Name: "waits", Val: st.Waits},
+	}
+	if s.sharded != nil {
+		out = append(out, wire.Counter{Name: "shards", Val: int64(s.sharded.Shards())})
+		for k, sh := range s.sharded.ShardStats() {
+			prefix := fmt.Sprintf("shard%d_", k)
+			out = append(out,
+				wire.Counter{Name: prefix + "grants", Val: sh.Grants},
+				wire.Counter{Name: prefix + "waits", Val: sh.Waits},
+				wire.Counter{Name: prefix + "deadlocks", Val: sh.Deadlocks},
+				wire.Counter{Name: prefix + "rollbacks", Val: sh.Rollbacks},
+				wire.Counter{Name: prefix + "aborts", Val: sh.Aborts},
+			)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

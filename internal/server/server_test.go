@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"runtime"
 	"sync"
@@ -29,10 +30,21 @@ func pipeClient(srv *Server, cfg client.Config) *client.Client {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
-	if cfg.Backoff == (exec.Backoff{}) {
+	if cfg.Backoff.Base == 0 && cfg.Backoff.Cap == 0 && cfg.Backoff.Jitter == nil {
 		cfg.Backoff = exec.Backoff{Base: 100 * time.Microsecond, Cap: 2 * time.Millisecond}
 	}
 	return client.New(cfg)
+}
+
+// mustRegister registers prog on the server's engine (which exposes the
+// core.Engine surface, without core.System's MustRegister helper).
+func mustRegister(t *testing.T, srv *Server, prog *txn.Program) txn.ID {
+	t.Helper()
+	id, err := srv.System().Register(prog)
+	if err != nil {
+		t.Fatalf("register %s: %v", prog.Name, err)
+	}
+	return id
 }
 
 func counter(t *testing.T, srv *Server, name string) int64 {
@@ -132,7 +144,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	srv := New(Config{Store: store})
 	base := runtime.NumGoroutine()
 
-	holder := srv.System().MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	holder := mustRegister(t, srv, sim.TransferProgram("holder", "e0", "e1", 1, 0))
 	if _, err := srv.System().Step(holder); err != nil { // holder takes e0
 		t.Fatal(err)
 	}
@@ -187,7 +199,7 @@ func TestForcedShutdownRollsBackInFlight(t *testing.T) {
 	srv := New(Config{Store: store})
 	base := runtime.NumGoroutine()
 
-	holder := srv.System().MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	holder := mustRegister(t, srv, sim.TransferProgram("holder", "e0", "e1", 1, 0))
 	if _, err := srv.System().Step(holder); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +248,7 @@ func TestForcedShutdownRollsBackInFlight(t *testing.T) {
 func TestRequestDeadlineExpiry(t *testing.T) {
 	store := entity.NewUniformStore("e", 4, 100)
 	srv := New(Config{Store: store, RequestTimeout: 100 * time.Millisecond})
-	holder := srv.System().MustRegister(sim.TransferProgram("holder", "e0", "e1", 1, 0))
+	holder := mustRegister(t, srv, sim.TransferProgram("holder", "e0", "e1", 1, 0))
 	if _, err := srv.System().Step(holder); err != nil {
 		t.Fatal(err)
 	}
@@ -506,4 +518,73 @@ func shutdownNow(t *testing.T, srv *Server) {
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
+}
+
+// TestPipeE2EBankingSharded is TestPipeE2EBanking over a 4-shard
+// engine: every transfer commits with zero protocol errors and a
+// consistent store, and the counter snapshot carries the per-shard
+// split (summing to the global grant count).
+func TestPipeE2EBankingSharded(t *testing.T) {
+	const clients, perClient, accounts = 8, 12, 6
+	w := sim.BankingWorkload(accounts, clients*perClient, 100, 42)
+	store := w.NewStore()
+	srv := New(Config{
+		Store:          store,
+		Strategy:       core.SDG,
+		RequestTimeout: 15 * time.Second,
+		Shards:         4,
+	})
+	base := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		progs := w.Programs[i*perClient : (i+1)*perClient]
+		c := pipeClient(srv, client.Config{Seed: int64(i + 1), MaxAttempts: 8})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for _, p := range progs {
+				if _, err := c.Run(context.Background(), p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if got := counter(t, srv, "proto_errors"); got != 0 {
+		t.Errorf("proto_errors = %d, want 0", got)
+	}
+	if got := counter(t, srv, "commits"); got != clients*perClient {
+		t.Errorf("commits = %d, want %d", got, clients*perClient)
+	}
+	if got := counter(t, srv, "shards"); got != 4 {
+		t.Errorf("shards counter = %d, want 4", got)
+	}
+	var shardGrants int64
+	for k := 0; k < 4; k++ {
+		shardGrants += counter(t, srv, fmt.Sprintf("shard%d_grants", k))
+	}
+	if global := counter(t, srv, "grants"); shardGrants != global {
+		t.Errorf("per-shard grants sum %d != global grants %d", shardGrants, global)
+	}
+	if err := store.CheckConsistent(); err != nil {
+		t.Error(err)
+	}
+	if err := srv.System().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	waitGoroutines(t, base)
 }

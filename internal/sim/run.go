@@ -8,6 +8,7 @@ import (
 	"partialrollback/internal/deadlock"
 	"partialrollback/internal/entity"
 	"partialrollback/internal/hybrid"
+	"partialrollback/internal/shard"
 	"partialrollback/internal/txn"
 )
 
@@ -55,6 +56,12 @@ type RunConfig struct {
 	CheckInvariants bool
 	// OnEvent forwards engine events.
 	OnEvent func(core.Event)
+	// Shards selects the engine: 0 steps a single core.System directly
+	// (the original unsharded path), >= 1 routes the run through a
+	// shard.Engine with that many partitions. Shards=1 is semantically
+	// identical to Shards=0 (one shard, identity ID mapping); the
+	// regression tests pin that equivalence.
+	Shards int
 }
 
 // Result summarizes one run.
@@ -78,7 +85,7 @@ type Result struct {
 	// AvgRollbackDepth is OpsLost per rollback.
 	AvgRollbackDepth float64
 	// System is the finished engine, for further inspection.
-	System *core.System
+	System core.Engine
 	// Store is the database the run executed against.
 	Store *entity.Store
 }
@@ -102,7 +109,7 @@ func Run(w Workload, rc RunConfig) (Result, error) {
 		maxSteps = 10_000_000
 	}
 	store := w.NewStore()
-	sys := core.New(core.Config{
+	cfg := core.Config{
 		Store:           store,
 		Strategy:        rc.Strategy,
 		Policy:          policy,
@@ -112,7 +119,13 @@ func Run(w Workload, rc RunConfig) (Result, error) {
 		StarvationLimit: rc.StarvationLimit,
 		RecordHistory:   rc.RecordHistory,
 		OnEvent:         rc.OnEvent,
-	})
+	}
+	var sys core.Engine
+	if rc.Shards >= 1 {
+		sys = shard.New(rc.Shards, cfg)
+	} else {
+		sys = core.New(cfg)
+	}
 	ids := make([]txn.ID, 0, len(w.Programs))
 	for _, p := range w.Programs {
 		id, err := sys.Register(p)

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"partialrollback/internal/core"
+)
+
+// collectEvents runs a workload and returns the result plus the full
+// event stream rendered as strings.
+func collectEvents(t *testing.T, w Workload, rc RunConfig) (Result, []string) {
+	t.Helper()
+	var events []string
+	rc.OnEvent = func(e core.Event) { events = append(events, e.String()) }
+	r, err := Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, events
+}
+
+// TestSingleShardIsUnshardedRegression pins the Shards=1 equivalence
+// guarantee at full fidelity: on a seeded workload the one-shard engine
+// must reproduce the unsharded stepper byte-for-byte — same event
+// stream, same step count, same stats, same final database, same serial
+// order.
+func TestSingleShardIsUnshardedRegression(t *testing.T) {
+	for _, strat := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+		for _, sched := range []Scheduler{RoundRobin, RandomPick} {
+			t.Run(fmt.Sprintf("%v/%s", strat, sched), func(t *testing.T) {
+				gen := GenConfig{
+					Txns: 10, DBSize: 12, HotSet: 6, HotProb: 0.8,
+					LocksPerTxn: 4, SharedProb: 0.2, RewriteProb: 0.5,
+					PadOps: 2, Shape: Mixed, Seed: 23,
+				}
+				base := RunConfig{
+					Strategy: strat, Scheduler: sched, Seed: 23,
+					RecordHistory: true,
+				}
+				flat := base
+				flat.Shards = 0 // original direct core.System path
+				one := base
+				one.Shards = 1
+
+				rf, ef := collectEvents(t, Generate(gen), flat)
+				r1, e1 := collectEvents(t, Generate(gen), one)
+
+				if rf.Stats != r1.Stats {
+					t.Errorf("stats diverge:\n unsharded %+v\n 1-shard   %+v", rf.Stats, r1.Stats)
+				}
+				if rf.Steps != r1.Steps {
+					t.Errorf("steps diverge: unsharded %d, 1-shard %d", rf.Steps, r1.Steps)
+				}
+				if len(ef) != len(e1) {
+					t.Fatalf("event counts diverge: unsharded %d, 1-shard %d", len(ef), len(e1))
+				}
+				for i := range ef {
+					if ef[i] != e1[i] {
+						t.Fatalf("event %d diverges:\n unsharded %s\n 1-shard   %s", i, ef[i], e1[i])
+					}
+				}
+				sf := snapshotOf(t, rf)
+				s1 := snapshotOf(t, r1)
+				for e, v := range sf {
+					if s1[e] != v {
+						t.Errorf("entity %q = %d on 1-shard, %d unsharded", e, s1[e], v)
+					}
+				}
+				of, err := rf.System.Recorder().SerialOrder()
+				if err != nil {
+					t.Fatal(err)
+				}
+				o1, err := r1.System.Recorder().SerialOrder()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(of) != fmt.Sprint(o1) {
+					t.Errorf("serial orders diverge: unsharded %v, 1-shard %v", of, o1)
+				}
+			})
+		}
+	}
+}
+
+// TestShardPropertySerializable is the sharded twin of the central
+// randomized sweep: random workloads over 2..4 shards under every
+// rollback strategy must terminate, keep engine invariants, stay
+// conflict-serializable, and leave the database in the state of their
+// own equivalent serial order.
+func TestShardPropertySerializable(t *testing.T) {
+	for _, shards := range []int{2, 3, 4} {
+		for _, strat := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+			for _, seed := range []int64{1, 5, 9} {
+				name := fmt.Sprintf("shards%d/%v/seed%d", shards, strat, seed)
+				t.Run(name, func(t *testing.T) {
+					w := Generate(GenConfig{
+						Txns: 10, DBSize: 14, HotSet: 6, HotProb: 0.7,
+						LocksPerTxn: 4, SharedProb: 0.25, RewriteProb: 0.5,
+						PadOps: 2, Shape: Mixed, Seed: seed,
+					})
+					r, err := Run(w, RunConfig{
+						Strategy: strat, Scheduler: Scheduler(int(seed) % 2),
+						Seed: seed, Shards: shards,
+						RecordHistory: true, CheckInvariants: true,
+						MaxSteps: 500000,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r.Committed != 10 {
+						t.Fatalf("committed %d", r.Committed)
+					}
+					order, err := r.System.Recorder().SerialOrder()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := runSerialOrder(t, w, order)
+					snap := snapshotOf(t, r)
+					for e, wantV := range want {
+						if snap[e] != wantV {
+							t.Errorf("entity %q = %d, serial oracle %d", e, snap[e], wantV)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -10,3 +10,10 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# The sharded engine's correctness surface, run explicitly so a filtered
+# or cached run above can never silently skip it: shard unit tests, the
+# multi-shard serializability property sweep, and the shards=1
+# byte-identity regression.
+go test -race -count=1 ./internal/shard/
+go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnshardedRegression' ./internal/sim/
