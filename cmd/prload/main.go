@@ -21,10 +21,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +56,8 @@ var (
 	seed     = flag.Int64("seed", 1, "workload seed (client i uses seed+i)")
 	timeout  = flag.Duration("timeout", time.Minute, "per-attempt client deadline")
 	attempts = flag.Int("attempts", 16, "max attempts per transaction")
+	adminURL = flag.String("admin", "", "server admin endpoint (host:port or URL) to scrape /metrics from after the run")
+	jsonOut  = flag.String("json", "", "write the run report (plus scraped admin metrics) as JSON to this file (\"-\" = stdout)")
 )
 
 func parseShape(s string) (sim.WriteShape, error) {
@@ -105,6 +111,72 @@ func programsFor(i int) []*txn.Program {
 		log.Fatalf("unknown workload %q", *workload)
 		return nil
 	}
+}
+
+// report is the machine-readable run summary written by -json, shaped
+// for diffing against the committed BENCH_*.json snapshots: stable
+// keys, seconds as floats, counters as integer maps.
+type report struct {
+	Workload      string  `json:"workload"`
+	Clients       int     `json:"clients"`
+	TxnsPerClient int     `json:"txnsPerClient"`
+	Seed          int64   `json:"seed"`
+	ElapsedSec    float64 `json:"elapsedSec"`
+	Committed     int     `json:"committed"`
+	Failed        int     `json:"failed"`
+	Throughput    float64 `json:"throughputTxnPerSec"`
+	LatencyP50Ms  float64 `json:"latencyP50Ms"`
+	LatencyP90Ms  float64 `json:"latencyP90Ms"`
+	LatencyP99Ms  float64 `json:"latencyP99Ms"`
+	OpsLost       int64   `json:"opsLost"`
+	PartialRB     int64   `json:"partialRollbacks"`
+	TotalRB       int64   `json:"totalRollbacks"`
+	Waits         int64   `json:"waits"`
+	NetRetries    int64   `json:"netRetries"`
+	// ServerCounters is the wire STATS snapshot.
+	ServerCounters map[string]int64 `json:"serverCounters,omitempty"`
+	// AdminMetrics is the expvar-style JSON scraped from the admin
+	// endpoint's /metrics (counters, gauges, histograms), when -admin
+	// was given.
+	AdminMetrics map[string]any `json:"adminMetrics,omitempty"`
+}
+
+// scrapeAdmin fetches the admin endpoint's /metrics as JSON. addr may
+// be host:port or a full URL.
+func scrapeAdmin(addr string) (map[string]any, error) {
+	url := addr
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("admin endpoint returned %s", resp.Status)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func writeReport(r *report) error {
+	out := os.Stdout
+	if *jsonOut != "-" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -222,19 +294,79 @@ func main() {
 	fmt.Printf("ops-lost=%d partial-rollbacks=%d total-rollbacks=%d waits=%d net-retries=%d\n",
 		total.opsLost, total.rollbacks-total.restarts, total.restarts, total.waits, total.netRetries)
 
+	rep := &report{
+		Workload:      *workload,
+		Clients:       *clients,
+		TxnsPerClient: *txnsPer,
+		Seed:          *seed,
+		ElapsedSec:    elapsed.Seconds(),
+		Committed:     total.committed,
+		Failed:        total.failed,
+		Throughput:    float64(total.committed) / elapsed.Seconds(),
+		LatencyP50Ms:  float64(percentile(total.latencies, 0.50)) / float64(time.Millisecond),
+		LatencyP90Ms:  float64(percentile(total.latencies, 0.90)) / float64(time.Millisecond),
+		LatencyP99Ms:  float64(percentile(total.latencies, 0.99)) / float64(time.Millisecond),
+		OpsLost:       total.opsLost,
+		PartialRB:     total.rollbacks - total.restarts,
+		TotalRB:       total.restarts,
+		Waits:         total.waits,
+		NetRetries:    total.netRetries,
+	}
+
 	// One extra connection for the server's own view of the run.
 	c := client.New(client.Config{Addr: *addr, RequestTimeout: *timeout})
 	defer c.Close()
 	if counters, err := c.Stats(); err == nil {
 		fmt.Println("server counters:")
+		rep.ServerCounters = make(map[string]int64, len(counters))
 		for _, cn := range counters {
 			fmt.Printf("  %-18s %d\n", cn.Name, cn.Val)
+			rep.ServerCounters[cn.Name] = cn.Val
 		}
 		printShardBalance(counters)
 	} else {
 		log.Printf("stats request failed: %v", err)
 	}
+
+	// The admin endpoint's richer view: histograms (rollback depth,
+	// wait durations, cycle lengths) the wire snapshot cannot carry.
+	if *adminURL != "" {
+		m, err := scrapeAdmin(*adminURL)
+		if err != nil {
+			log.Printf("admin scrape failed: %v", err)
+		} else {
+			rep.AdminMetrics = m
+			printAdminSummary(m)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeReport(rep); err != nil {
+			log.Fatalf("writing -json report: %v", err)
+		}
+	}
 	if total.failed > 0 {
 		log.Fatalf("%d transactions failed; last error: %v", total.failed, total.lastErr)
+	}
+}
+
+// printAdminSummary folds the scraped histograms into the human report:
+// mean rollback depth and mean lock-wait duration, the two costs the
+// paper's victim policies trade off.
+func printAdminSummary(m map[string]any) {
+	hist := func(name string) (sum float64, count float64, ok bool) {
+		h, ok := m[name].(map[string]any)
+		if !ok {
+			return 0, 0, false
+		}
+		sum, _ = h["sum"].(float64)
+		count, _ = h["count"].(float64)
+		return sum, count, count > 0
+	}
+	if sum, n, ok := hist("pr_rollback_depth"); ok {
+		fmt.Printf("admin: rollback depth mean=%.2f ops over %d rollbacks\n", sum/n, int64(n))
+	}
+	if sum, n, ok := hist("pr_wait_duration_seconds"); ok {
+		fmt.Printf("admin: lock wait mean=%s over %d waits\n",
+			time.Duration(sum/n*float64(time.Second)).Round(time.Microsecond), int64(n))
 	}
 }

@@ -14,6 +14,12 @@
 //	prserver -addr :7415 -strategy sdg -policy ordered-min-cost \
 //	         -entities 64 -accounts 16 -max-sessions 128
 //
+// With -admin ADDR an HTTP admin endpoint additionally serves
+// Prometheus/JSON metrics (/metrics), the live wait-for-graph inspector
+// (/debug/waitfor, JSON or Graphviz DOT), the active-transaction table
+// (/debug/txns), the transaction tracer (-trace N, /debug/trace), and
+// net/http/pprof (/debug/pprof/).
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight transactions
 // get -drain-timeout to commit, the rest are rolled back to their
 // initial states, and the final counter snapshot is printed.
@@ -24,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,7 +40,9 @@ import (
 	"partialrollback/internal/core"
 	"partialrollback/internal/deadlock"
 	"partialrollback/internal/entity"
+	"partialrollback/internal/obs"
 	"partialrollback/internal/server"
+	"partialrollback/internal/shard"
 )
 
 var (
@@ -49,6 +59,8 @@ var (
 	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "per-message read deadline")
 	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	shards      = flag.Int("shards", 1, "engine shards (1 = single engine; >1 partitions the lock/wait-for/detection core)")
+	admin       = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/waitfor, /debug/txns and pprof (empty disables)")
+	traceCap    = flag.Int("trace", 0, "enable transaction tracing, retaining the last N completed traces (0 disables; requires -admin)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
 )
 
@@ -126,12 +138,74 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
+
+	// Observability: the collector and tracer are chained onto the
+	// engine's event stream before the server is built, so every event
+	// from the first registration onward is counted.
+	var (
+		collector *obs.Collector
+		tracer    *obs.Tracer
+		registry  *obs.Registry
+	)
+	if *admin != "" {
+		registry = obs.NewRegistry()
+		collector = obs.NewCollector(registry)
+		cfg.OnEvent = collector.OnEvent
+		if *traceCap > 0 {
+			tracer = obs.NewTracer(*traceCap)
+			tracer.SetEnabled(true)
+			cfg.OnEvent = func(e core.Event) {
+				collector.OnEvent(e)
+				tracer.OnEvent(e)
+			}
+		}
+	}
+
 	srv := server.New(cfg)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d)",
 		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		// The serving-layer counters (sessions, bytes, per-shard stats)
+		// ride along as a gauge set read at scrape time.
+		registry.NewGaugeSet("pr_server_", "Serving-layer counter snapshot.", func() []obs.KV {
+			cs := srv.Counters()
+			out := make([]obs.KV, len(cs))
+			for i, c := range cs {
+				out[i] = obs.KV{Name: c.Name, Val: c.Val}
+			}
+			return out
+		})
+		opts := obs.AdminOptions{Registry: registry, Engine: srv.System(), Tracer: tracer}
+		if se, ok := srv.System().(*shard.Engine); ok {
+			registry.NewGauge("pr_admission_queue_depth",
+				"Cross-shard claims queued for placement.",
+				func() int64 { return int64(se.QueueDepth()) })
+			opts.Queued = func() []obs.KV {
+				var out []obs.KV
+				for _, q := range se.Queued() {
+					out = append(out, obs.KV{Name: fmt.Sprintf("pos%d_%s_txn", q.Position, q.Program), Val: int64(q.Txn)})
+				}
+				return out
+			}
+		}
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		adminSrv = &http.Server{Handler: obs.NewAdminMux(opts)}
+		go func() {
+			if err := adminSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin: %v", err)
+			}
+		}()
+		log.Printf("admin on http://%s (metrics, debug/waitfor, debug/txns, pprof; trace=%v)",
+			ln.Addr(), *traceCap > 0)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -142,6 +216,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain deadline hit; in-flight transactions rolled back (%v)", err)
+	}
+	if adminSrv != nil {
+		_ = adminSrv.Shutdown(context.Background())
 	}
 
 	fmt.Println("final counters:")

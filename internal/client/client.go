@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"partialrollback/internal/exec"
+	"partialrollback/internal/obs"
 	"partialrollback/internal/txn"
 	"partialrollback/internal/wire"
 )
@@ -47,6 +48,10 @@ type Config struct {
 	// OnRollback, when non-nil, receives every partial-rollback
 	// notification the server streams while executing our transaction.
 	OnRollback func(wire.RolledBack)
+	// Metrics, when non-nil, accumulates this client's attempt/retry
+	// counters and commit latencies. Share one instance across clients
+	// (all fields are atomic) to observe a whole load-generating fleet.
+	Metrics *obs.ClientMetrics
 }
 
 // ServerError is an Error frame returned by the server.
@@ -229,24 +234,42 @@ func (c *Client) RunOnce(prog *txn.Program) (*Result, error) {
 
 // Run submits prog and re-runs it on retryable failures with jittered
 // exponential backoff, until it commits, fails terminally, attempts run
-// out, or ctx ends. The Result aggregates rollback notifications and
+// out, or ctx ends. Backoff sleeps respect ctx cancellation (see
+// exec.Backoff.Sleep), so a canceled caller returns without finishing
+// the current delay. The Result aggregates rollback notifications and
 // attempts across runs.
 func (c *Client) Run(ctx context.Context, prog *txn.Program) (*Result, error) {
 	var (
 		last     *Result
 		rollback []wire.RolledBack
 	)
+	start := time.Now()
 	attempts, err := exec.Retry(ctx, c.cfg.MaxAttempts, c.cfg.Backoff, c.rng,
 		func(context.Context) error {
+			if m := c.cfg.Metrics; m != nil {
+				m.Attempts.Add(1)
+			}
 			r, err := c.RunOnce(prog)
 			if r != nil {
 				rollback = append(rollback, r.RolledBack...)
+				if m := c.cfg.Metrics; m != nil {
+					m.RollbacksObserved.Add(int64(len(r.RolledBack)))
+				}
 			}
 			last = r
 			return err
 		}, Retryable)
+	if m := c.cfg.Metrics; m != nil && attempts > 1 {
+		m.Retries.Add(int64(attempts - 1))
+	}
 	if err != nil {
+		if m := c.cfg.Metrics; m != nil {
+			m.Failures.Add(1)
+		}
 		return nil, err
+	}
+	if m := c.cfg.Metrics; m != nil {
+		m.ObserveCommit(time.Since(start))
 	}
 	last.Attempts = attempts
 	last.RolledBack = rollback

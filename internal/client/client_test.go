@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"partialrollback/internal/exec"
+	"partialrollback/internal/obs"
 	"partialrollback/internal/sim"
 	"partialrollback/internal/wire"
 )
@@ -188,6 +189,98 @@ func TestErrRolledBackMatching(t *testing.T) {
 	}
 	if Retryable(wire.ErrProtocol) {
 		t.Error("protocol violations must not be retryable")
+	}
+}
+
+// TestRunCancelDuringBackoff cancels the context while Run sleeps
+// between attempts and checks it returns promptly with the context
+// error instead of finishing the (enormous) backoff delay.
+func TestRunCancelDuringBackoff(t *testing.T) {
+	prog := sim.TransferProgram("t", "e0", "e1", 1, 0)
+	dialed := make(chan struct{}, 1)
+	cfg := Config{
+		Dial: func() (net.Conn, error) {
+			select {
+			case dialed <- struct{}{}:
+			default:
+			}
+			return nil, errors.New("refused") // retryable transport failure
+		},
+		MaxAttempts: 8,
+		// A delay far beyond the test's patience: only ctx can end it.
+		Backoff: exec.Backoff{Base: time.Hour, Cap: time.Hour},
+		Seed:    1,
+	}
+	c := New(cfg)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, prog)
+		done <- err
+	}()
+	<-dialed // first attempt failed; Run is now inside the backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel; backoff sleep ignores ctx")
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	prog := sim.TransferProgram("t", "e0", "e1", 1, 0)
+	m := &obs.ClientMetrics{}
+	cfg := testConfig(pipeDialer(t, func(conn net.Conn) {
+		serveScript(t, conn,
+			[]wire.Msg{
+				wire.RolledBack{Txn: 7, FromState: 2, ToState: 0, Lost: 2},
+				wire.Error{Code: wire.CodeRolledBack, Msg: "deadline"},
+			},
+			[]wire.Msg{committedReply()},
+		)
+	}))
+	cfg.Metrics = m
+	c := New(cfg)
+	defer c.Close()
+	if _, err := c.Run(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if got := m.Retries.Load(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := m.Commits.Load(); got != 1 {
+		t.Errorf("commits = %d, want 1", got)
+	}
+	if got := m.RollbacksObserved.Load(); got != 1 {
+		t.Errorf("rollbacks observed = %d, want 1", got)
+	}
+	if got := m.Failures.Load(); got != 0 {
+		t.Errorf("failures = %d, want 0", got)
+	}
+
+	// A terminal failure counts once and does not count a commit.
+	cfg2 := testConfig(pipeDialer(t, func(conn net.Conn) {
+		serveScript(t, conn, []wire.Msg{wire.Error{Code: wire.CodeBadRequest, Msg: "bad"}})
+	}))
+	cfg2.Metrics = m
+	c2 := New(cfg2)
+	defer c2.Close()
+	if _, err := c2.Run(context.Background(), prog); err == nil {
+		t.Fatal("want terminal error")
+	}
+	if got := m.Failures.Load(); got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+	if got := m.Commits.Load(); got != 1 {
+		t.Errorf("commits after failure = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+
+	"partialrollback/internal/lock"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/waitfor"
+)
+
+// HeldLock describes one lock a transaction currently holds.
+type HeldLock struct {
+	Entity string `json:"entity"`
+	// Mode is "S" or "X".
+	Mode string `json:"mode"`
+	// Index is the lock index at which the lock was acquired (the lock
+	// state preceding its request).
+	Index int `json:"index"`
+}
+
+// TxnSnapshot is one active (or committed but not yet forgotten)
+// transaction's point-in-time state, as served by the observability
+// layer's /debug/txns endpoint.
+type TxnSnapshot struct {
+	ID         txn.ID     `json:"txn"`
+	Program    string     `json:"program"`
+	Status     string     `json:"status"`
+	Entry      int64      `json:"entry"`
+	PC         int        `json:"pc"`
+	StateIndex int64      `json:"stateIndex"`
+	LockIndex  int        `json:"lockIndex"`
+	Held       []HeldLock `json:"held,omitempty"`
+	// WaitingOn is the entity the transaction waits for, when waiting.
+	WaitingOn string `json:"waitingOn,omitempty"`
+	// RestartCost is the paper's rollback-cost metric evaluated at the
+	// initial state: the atomic operations that would be lost if the
+	// transaction were rolled back to state 0 right now (= StateIndex).
+	RestartCost int64 `json:"restartCost"`
+	// Unlocked reports the shrinking phase (never rolled back again).
+	Unlocked bool     `json:"unlocked,omitempty"`
+	Stats    TxnStats `json:"stats"`
+}
+
+// WaitArc is one wait-for relationship in a snapshot, in the internal
+// waiter -> holder orientation (the paper draws holder -> waiter;
+// renderers flip it and say so).
+type WaitArc struct {
+	Waiter txn.ID `json:"waiter"`
+	Holder txn.ID `json:"holder"`
+	Entity string `json:"entity"`
+}
+
+// DebugSnapshot is a consistent point-in-time view of one engine (one
+// System, or one shard of a sharded engine): its active transaction
+// table, wait-for arcs, and counter snapshot. It is what the
+// observability subsystem's inspector endpoints serve.
+type DebugSnapshot struct {
+	// Shard is the shard index the snapshot was taken from (0 for an
+	// unsharded System).
+	Shard int           `json:"shard"`
+	Txns  []TxnSnapshot `json:"txns"`
+	Arcs  []WaitArc     `json:"arcs"`
+	Stats Stats         `json:"stats"`
+}
+
+// Snapshotter is implemented by engines that can produce a single
+// consistent debug snapshot (the unsharded System).
+type Snapshotter interface {
+	DebugSnapshot() DebugSnapshot
+}
+
+// ShardSnapshotter is implemented by engines composed of several
+// sub-engines (internal/shard); each element covers one shard, with
+// transaction IDs remapped into the global namespace.
+type ShardSnapshotter interface {
+	DebugSnapshots() []DebugSnapshot
+}
+
+var _ Snapshotter = (*System)(nil)
+
+// DebugSnapshot returns a consistent point-in-time view of the system:
+// every registered transaction with its held and awaited locks, the
+// wait-for arcs, and the counter snapshot — all taken under one
+// acquisition of the engine mutex.
+func (s *System) DebugSnapshot() DebugSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := DebugSnapshot{Stats: s.stats}
+	for id, t := range s.txns {
+		ts := TxnSnapshot{
+			ID:          id,
+			Program:     t.prog.Name,
+			Status:      t.status.String(),
+			Entry:       t.entry,
+			PC:          t.pc,
+			StateIndex:  t.stateIndex,
+			LockIndex:   t.lockIndex,
+			RestartCost: t.stateIndex,
+			Unlocked:    t.unlocked,
+			Stats:       t.stats,
+		}
+		for _, e := range s.locks.HeldBy(id) {
+			m := lock.Shared
+			if mm, ok := t.modes[e]; ok {
+				m = mm
+			}
+			ts.Held = append(ts.Held, HeldLock{Entity: e, Mode: m.String(), Index: t.heldAt[e]})
+		}
+		if t.status == StatusWaiting {
+			ts.WaitingOn = t.waitEntity
+		}
+		snap.Txns = append(snap.Txns, ts)
+	}
+	sort.Slice(snap.Txns, func(i, j int) bool { return snap.Txns[i].ID < snap.Txns[j].ID })
+	for _, a := range s.wf.Arcs() {
+		snap.Arcs = append(snap.Arcs, arcSnapshot(a))
+	}
+	return snap
+}
+
+func arcSnapshot(a waitfor.Arc) WaitArc {
+	return WaitArc{Waiter: a.Waiter, Holder: a.Holder, Entity: a.Entity}
+}

@@ -185,10 +185,25 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	return jittered
 }
 
+// Sleep blocks for the attempt's jittered backoff delay, returning
+// early with ctx.Err() if the context ends first. It never uses a bare
+// time.Sleep, so a canceled client stops backing off immediately.
+func (b Backoff) Sleep(ctx context.Context, attempt int, rng *rand.Rand) error {
+	t := time.NewTimer(b.Delay(attempt, rng))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Retry runs attempt until it succeeds, fails terminally, or the
 // context ends. retryable classifies errors; attempts <= 0 means 16.
 // It returns the number of attempts made alongside the final error
-// (nil on success).
+// (nil on success). Backoff sleeps respect context cancellation (see
+// Backoff.Sleep).
 func Retry(ctx context.Context, attempts int, b Backoff, rng *rand.Rand,
 	attempt func(context.Context) error, retryable func(error) bool) (int, error) {
 	if attempts <= 0 {
@@ -206,12 +221,8 @@ func Retry(ctx context.Context, attempts int, b Backoff, rng *rand.Rand,
 		if !retryable(err) || k == attempts-1 {
 			return k + 1, err
 		}
-		t := time.NewTimer(b.Delay(k, rng))
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return k + 1, ctx.Err()
+		if serr := b.Sleep(ctx, k, rng); serr != nil {
+			return k + 1, serr
 		}
 	}
 	return attempts, err

@@ -100,6 +100,73 @@ func TestBackoffDelayBounds(t *testing.T) {
 	}
 }
 
+func TestBackoffSleep(t *testing.T) {
+	t.Run("completes", func(t *testing.T) {
+		b := Backoff{Base: time.Microsecond, Cap: time.Microsecond}
+		if err := b.Sleep(context.Background(), 0, nil); err != nil {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("cancel interrupts", func(t *testing.T) {
+		b := Backoff{Base: time.Hour, Cap: time.Hour}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- b.Sleep(ctx, 0, nil) }()
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Sleep ignored cancellation")
+		}
+	})
+	t.Run("deadline interrupts", func(t *testing.T) {
+		b := Backoff{Base: time.Hour, Cap: time.Hour}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		err := b.Sleep(ctx, 0, nil)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("Sleep overshot the deadline")
+		}
+	})
+}
+
+// TestRetrySleepCancel cancels mid-backoff (after a failed attempt,
+// before the next) and checks Retry returns the context error promptly.
+func TestRetrySleepCancel(t *testing.T) {
+	fail := errors.New("transient")
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Backoff{Base: time.Hour, Cap: time.Hour}
+	done := make(chan error, 1)
+	attempted := make(chan struct{}, 1)
+	go func() {
+		_, err := Retry(ctx, 10, b, nil, func(context.Context) error {
+			select {
+			case attempted <- struct{}{}:
+			default:
+			}
+			return fail
+		}, func(error) bool { return true })
+		done <- err
+	}()
+	<-attempted
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not return after cancel during backoff")
+	}
+}
+
 func TestRetry(t *testing.T) {
 	fail := errors.New("transient")
 	fatal := errors.New("fatal")

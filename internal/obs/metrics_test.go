@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("t_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var live int64 = 7
+	g := reg.NewGauge("t_live", "live", func() int64 { return live })
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	live = 9
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# HELP t_ops_total ops",
+		"# TYPE t_ops_total counter",
+		"t_ops_total 5",
+		"# TYPE t_live gauge",
+		"t_live 9",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	// Sorted by name: t_live before t_ops_total.
+	if strings.Index(text, "t_live") > strings.Index(text, "t_ops_total 5") {
+		t.Errorf("metrics not sorted by name:\n%s", text)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	reg.NewCounter("dup", "")
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("t_depth", "depth", []int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 111 {
+		t.Fatalf("sum = %d, want 111", got)
+	}
+	// Bounds inclusive: le=1 gets {0,1}, le=2 adds {2}, le=4 adds {3},
+	// le=8 adds {5}, and 100 lands in +Inf only.
+	want := []int64{2, 3, 4, 5}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative buckets = %v, want %v", got, want)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, wantLine := range []string{
+		"# TYPE t_depth histogram",
+		`t_depth_bucket{le="1"} 2`,
+		`t_depth_bucket{le="8"} 5`,
+		`t_depth_bucket{le="+Inf"} 6`,
+		"t_depth_sum 111",
+		"t_depth_count 6",
+	} {
+		if !strings.Contains(text, wantLine) {
+			t.Errorf("prometheus output missing %q:\n%s", wantLine, text)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {2, 2}, {3, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewRegistry().NewHistogram("bad", "", bounds)
+		}()
+	}
+}
+
+func TestDurationHistogramRendersSeconds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewDurationHistogram("t_wait_seconds", "wait",
+		[]time.Duration{time.Millisecond, time.Second})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(250 * time.Millisecond)
+	if got := h.Sum(); got != 250*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("sum = %v", got)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`t_wait_seconds_bucket{le="0.001"} 1`,
+		`t_wait_seconds_bucket{le="1"} 2`,
+		"t_wait_seconds_sum 0.2505",
+		"t_wait_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewGaugeSet("srv_", "server counters", func() []KV {
+		return []KV{{Name: "shard1 grants", Val: 3}, {Name: "accepted", Val: 11}}
+	})
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "srv_accepted 11") {
+		t.Errorf("gauge set missing accepted:\n%s", text)
+	}
+	// The space is sanitized into the metric-name alphabet.
+	if !strings.Contains(text, "srv_shard1_grants 3") {
+		t.Errorf("gauge set name not sanitized:\n%s", text)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("j_ops_total", "").Add(5)
+	h := reg.NewHistogram("j_depth", "", []int64{1, 10})
+	h.Observe(3)
+	reg.NewGaugeSet("j_set_", "", func() []KV { return []KV{{Name: "a", Val: 1}} })
+
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, b.String())
+	}
+	if got := out["j_ops_total"].(float64); got != 5 {
+		t.Errorf("j_ops_total = %v, want 5", got)
+	}
+	hv := out["j_depth"].(map[string]any)
+	if hv["count"].(float64) != 1 || hv["sum"].(float64) != 3 {
+		t.Errorf("j_depth = %v", hv)
+	}
+	buckets := hv["buckets"].([]any)
+	if len(buckets) != 3 { // le=1, le=10, +Inf
+		t.Errorf("j_depth buckets = %v", buckets)
+	}
+	set := out["j_set_"].(map[string]any)
+	if set["a"].(float64) != 1 {
+		t.Errorf("j_set_ = %v", set)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "")
+	h := reg.NewHistogram("h", "", []int64{10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i % 200))
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = reg.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/txn"
+)
+
+func traceEvents(tr *Tracer, id txn.ID, kinds ...core.EventKind) {
+	for _, k := range kinds {
+		tr.OnEvent(core.Event{Kind: k, Txn: id, Entity: "e"})
+	}
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	tr := NewTracer(4)
+	if tr.Enabled() {
+		t.Fatal("tracer enabled at construction")
+	}
+	traceEvents(tr, 1, core.EventRegister, core.EventGrant, core.EventCommit)
+	active, completed := tr.Snapshot()
+	if len(active) != 0 || len(completed) != 0 {
+		t.Fatalf("disabled tracer recorded %d active, %d completed", len(active), len(completed))
+	}
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	tr.OnEvent(core.Event{Kind: core.EventRegister, Txn: 1, Detail: "transfer"})
+	tr.OnEvent(core.Event{Kind: core.EventGrant, Txn: 1, Entity: "a"})
+	tr.OnEvent(core.Event{Kind: core.EventWait, Txn: 1, Entity: "b"})
+	tr.OnEvent(core.Event{Kind: core.EventRollback, Txn: 1, Lost: 2, ToLockState: 1})
+	tr.OnEvent(core.Event{Kind: core.EventGrant, Txn: 1, Entity: "b"})
+
+	active, completed := tr.Snapshot()
+	if len(active) != 1 || len(completed) != 0 {
+		t.Fatalf("mid-flight: %d active, %d completed", len(active), len(completed))
+	}
+	got := active[0]
+	if got.Program != "transfer" || got.Outcome != "" {
+		t.Fatalf("active trace = %+v", got)
+	}
+	if len(got.Events) != 5 {
+		t.Fatalf("events = %d, want 5", len(got.Events))
+	}
+	rb := got.Events[3]
+	if rb.Kind != "rollback" || rb.Lost != 2 || !strings.Contains(rb.Detail, "lock state 1") {
+		t.Fatalf("rollback span = %+v", rb)
+	}
+
+	tr.OnEvent(core.Event{Kind: core.EventCommit, Txn: 1})
+	active, completed = tr.Snapshot()
+	if len(active) != 0 || len(completed) != 1 {
+		t.Fatalf("after commit: %d active, %d completed", len(active), len(completed))
+	}
+	if completed[0].Outcome != "commit" {
+		t.Fatalf("outcome = %q", completed[0].Outcome)
+	}
+	if completed[0].Dur() < 0 {
+		t.Fatalf("duration negative")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetEnabled(true)
+	for id := txn.ID(1); id <= 4; id++ {
+		traceEvents(tr, id, core.EventRegister, core.EventCommit)
+	}
+	_, completed := tr.Snapshot()
+	if len(completed) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(completed))
+	}
+	// Oldest first: 1 and 2 were evicted, 3 and 4 remain.
+	if completed[0].Txn != 3 || completed[1].Txn != 4 {
+		t.Fatalf("ring = [%v %v], want [3 4]", completed[0].Txn, completed[1].Txn)
+	}
+}
+
+func TestTracerEventCap(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetEnabled(true)
+	tr.OnEvent(core.Event{Kind: core.EventRegister, Txn: 1})
+	for i := 0; i < maxTraceEvents+10; i++ {
+		tr.OnEvent(core.Event{Kind: core.EventGrant, Txn: 1, Entity: "e"})
+	}
+	tr.OnEvent(core.Event{Kind: core.EventCommit, Txn: 1})
+	_, completed := tr.Snapshot()
+	if len(completed) != 1 {
+		t.Fatalf("completed = %d", len(completed))
+	}
+	got := completed[0]
+	if !got.Truncated {
+		t.Fatal("trace not marked truncated")
+	}
+	if len(got.Events) != maxTraceEvents {
+		t.Fatalf("events = %d, want cap %d", len(got.Events), maxTraceEvents)
+	}
+	// The commit still completed the trace despite the full event list.
+	if got.Outcome != "commit" {
+		t.Fatalf("outcome = %q", got.Outcome)
+	}
+}
+
+func TestTracerDisableDropsActive(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetEnabled(true)
+	traceEvents(tr, 1, core.EventRegister, core.EventGrant)
+	tr.SetEnabled(false)
+	active, _ := tr.Snapshot()
+	if len(active) != 0 {
+		t.Fatalf("disable left %d active traces", len(active))
+	}
+	// Events for unknown transactions are ignored after re-enable.
+	tr.SetEnabled(true)
+	tr.OnEvent(core.Event{Kind: core.EventCommit, Txn: 1})
+	_, completed := tr.Snapshot()
+	if len(completed) != 0 {
+		t.Fatalf("orphan commit completed a trace")
+	}
+}
+
+func TestTracerDumps(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetEnabled(true)
+	clock := &fakeClock{t: time.Unix(1000, 0), tick: time.Millisecond}
+	tr.now = clock.now
+	tr.OnEvent(core.Event{Kind: core.EventRegister, Txn: 1, Detail: "transfer"})
+	tr.OnEvent(core.Event{Kind: core.EventGrant, Txn: 1, Entity: "a"})
+	tr.OnEvent(core.Event{Kind: core.EventCommit, Txn: 1})
+	traceEvents(tr, 2, core.EventRegister, core.EventWait)
+
+	var text strings.Builder
+	if err := tr.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tracer enabled=true active=1 completed=1", "transfer", "commit in", "active T2"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text dump missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js strings.Builder
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"enabled": true`, `"program": "transfer"`, `"outcome": "commit"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("json dump missing %q:\n%s", want, js.String())
+		}
+	}
+}

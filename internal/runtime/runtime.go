@@ -46,6 +46,10 @@ type Options struct {
 	// larger value partitions the engine into that many shards
 	// (internal/shard) so disjoint transactions execute in parallel.
 	Shards int
+	// OnEvent, when non-nil, additionally receives every engine event
+	// (after the driver's own wake notifier) — the hook the
+	// observability collector and tracer chain onto.
+	OnEvent func(core.Event)
 }
 
 // Outcome reports a completed concurrent run.
@@ -60,6 +64,14 @@ type Outcome struct {
 // its step bound.
 func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, error) {
 	notif := exec.NewNotifier()
+	onEvent := notif.OnEvent
+	if opt.OnEvent != nil {
+		tap := opt.OnEvent
+		onEvent = func(e core.Event) {
+			notif.OnEvent(e)
+			tap(e)
+		}
+	}
 	cfg := core.Config{
 		Store:           store,
 		Strategy:        opt.Strategy,
@@ -68,7 +80,7 @@ func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, e
 		HybridBudget:    opt.HybridBudget,
 		HybridAllocator: opt.HybridAllocator,
 		RecordHistory:   opt.RecordHistory,
-		OnEvent:         notif.OnEvent,
+		OnEvent:         onEvent,
 	}
 	var sys core.Engine
 	if opt.Shards > 1 {

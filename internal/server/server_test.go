@@ -588,3 +588,94 @@ func TestPipeE2EBankingSharded(t *testing.T) {
 	}
 	waitGoroutines(t, base)
 }
+
+// TestCountersConcurrentWithSessions hammers Counters() and wire Stats
+// requests while transaction sessions run, so -race can see any unsynced
+// access to the serving-layer counters or the engine stats they fold in.
+func TestCountersConcurrentWithSessions(t *testing.T) {
+	const clients, perClient = 4, 8
+	w := sim.BankingWorkload(4, clients*perClient, 100, 7)
+	store := w.NewStore()
+	srv := New(Config{
+		Store:          store,
+		Strategy:       core.MCS,
+		RequestTimeout: 15 * time.Second,
+		Shards:         2,
+	})
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	// In-process scraper: Server.Counters directly.
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, c := range srv.Counters() {
+				if c.Name == "" {
+					t.Error("counter with empty name")
+					return
+				}
+			}
+		}
+	}()
+	// Wire scraper: Stats requests over their own session.
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		c := pipeClient(srv, client.Config{Seed: 99})
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Stats(); err != nil {
+				t.Errorf("stats: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		progs := w.Programs[i*perClient : (i+1)*perClient]
+		c := pipeClient(srv, client.Config{Seed: int64(i + 1), MaxAttempts: 8})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for _, p := range progs {
+				if _, err := c.Run(context.Background(), p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if got := counter(t, srv, "commits"); got != clients*perClient {
+		t.Errorf("commits = %d, want %d", got, clients*perClient)
+	}
+	if err := store.CheckConsistent(); err != nil {
+		t.Error(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -736,6 +736,62 @@ func (e *Engine) Recorder() *history.Recorder {
 	return history.Merged(eps)
 }
 
+// DebugSnapshots returns one consistent point-in-time view per shard,
+// with transaction IDs remapped into the global namespace (shards are
+// snapshotted one after another, so arcs within a shard are consistent
+// but cross-shard timing is best-effort — acceptable for inspection,
+// which is all this serves).
+func (e *Engine) DebugSnapshots() []core.DebugSnapshot {
+	out := make([]core.DebugSnapshot, e.n)
+	for k, sh := range e.shards {
+		out[k] = sh.DebugSnapshot()
+		out[k].Shard = k
+	}
+	e.mapMu.RLock()
+	for k := range out {
+		m := e.l2g[k]
+		for i := range out[k].Txns {
+			out[k].Txns[i].ID = mapID(m, out[k].Txns[i].ID)
+		}
+		for i := range out[k].Arcs {
+			out[k].Arcs[i].Waiter = mapID(m, out[k].Arcs[i].Waiter)
+			out[k].Arcs[i].Holder = mapID(m, out[k].Arcs[i].Holder)
+		}
+	}
+	e.mapMu.RUnlock()
+	return out
+}
+
+var _ core.ShardSnapshotter = (*Engine)(nil)
+
+// QueuedClaim describes one registered transaction still waiting for
+// shard placement (see the package comment's admission queue).
+type QueuedClaim struct {
+	Txn     txn.ID `json:"txn"`
+	Program string `json:"program"`
+	// Position is the claim's place in the admission queue (0 = head).
+	Position int `json:"position"`
+}
+
+// Queued returns the admission queue in order: claims registered but
+// not yet placeable on a shard.
+func (e *Engine) Queued() []QueuedClaim {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]QueuedClaim, 0, len(e.queue))
+	for i, gid := range e.queue {
+		out = append(out, QueuedClaim{Txn: gid, Program: e.meta[gid].prog.Name, Position: i})
+	}
+	return out
+}
+
+// QueueDepth returns the number of claims waiting for placement.
+func (e *Engine) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
 // CheckInvariants cross-checks every shard's internal consistency plus
 // the routing directory: pin refcounts must equal the active
 // transactions' lock sets, no entity may be pinned to two shards, and

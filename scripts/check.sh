@@ -17,3 +17,12 @@ go test -race ./...
 # byte-identity regression.
 go test -race -count=1 ./internal/shard/
 go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnshardedRegression' ./internal/sim/
+
+# Observability end-to-end: start prserver with -admin and assert the
+# metrics, wait-for-graph and transaction-table endpoints really serve
+# (needs curl; skipped where unavailable).
+if command -v curl >/dev/null 2>&1; then
+    ./scripts/smoke_obs.sh
+else
+    echo "curl not found; skipping obs smoke test"
+fi

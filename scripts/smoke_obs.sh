@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Observability smoke test: build prserver, start it with an admin
+# endpoint on an ephemeral port, and assert the admin surface actually
+# serves what the docs promise — key Prometheus series on /metrics, a
+# DOT graph on /debug/waitfor, a transaction table on /debug/txns, and
+# the pprof index. Run from the repository root:
+#
+#   ./scripts/smoke_obs.sh
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/prserver" ./cmd/prserver
+
+"$workdir/prserver" -addr 127.0.0.1:0 -admin 127.0.0.1:0 -trace 16 \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# The server logs "admin on http://HOST:PORT (...)" once the admin
+# listener is up; poll the log for it.
+admin=""
+for _ in $(seq 1 50); do
+    admin=$(sed -n 's/^prserver: admin on http:\/\/\([^ ]*\) .*/\1/p' "$workdir/server.log")
+    [ -n "$admin" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/server.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$admin" ] || { echo "admin endpoint never came up"; cat "$workdir/server.log"; exit 1; }
+
+fetch() {
+    curl -fsS --max-time 10 "http://$admin$1"
+}
+
+require() {
+    # require <path> <needle>...: fetch path, assert every needle appears.
+    path=$1; shift
+    body=$(fetch "$path")
+    for needle in "$@"; do
+        case $body in
+        *"$needle"*) ;;
+        *)
+            echo "FAIL: $path missing \"$needle\":"
+            echo "$body" | head -30
+            exit 1
+            ;;
+        esac
+    done
+    echo "ok: $path"
+}
+
+require /metrics \
+    "# TYPE pr_grants_total counter" \
+    "# TYPE pr_rollback_depth histogram" \
+    "pr_wait_duration_seconds_count" \
+    "pr_txns_active" \
+    "pr_server_sessions_total"
+require "/metrics?format=json" '"pr_commits_total"'
+require "/debug/waitfor?format=dot" "digraph waitfor"
+require /debug/waitfor '"merged"'
+require /debug/txns '"txns"'
+require "/debug/trace?format=text" "tracer enabled=true"
+require /debug/pprof/ profiles
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+echo "obs smoke test passed"
