@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"partialrollback/internal/entity"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// TestComputeReadWriteStepsZeroAlloc pins the tentpole property on the
+// engine's op-execution path: once a transaction holds its locks,
+// stepping read/compute/write operations allocates nothing — locals
+// live in a slot-indexed slice, expressions are pre-compiled, and the
+// eval stack is reused.
+func TestComputeReadWriteStepsZeroAlloc(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 1})
+	s := New(Config{Store: store})
+	b := txn.NewProgram("hot").Local("x", 0).LockX("a").Read("a", "x")
+	for i := 0; i < 600; i++ {
+		b.Compute("x", value.Add(value.L("x"), value.C(1)))
+		b.Write("a", value.L("x"))
+	}
+	prog := b.MustBuild()
+	id := s.MustRegister(prog)
+	// Execute the lock grant and first read so the steady state begins.
+	for i := 0; i < 2; i++ {
+		if res, err := s.Step(id); err != nil || res.Outcome != Progressed {
+			t.Fatalf("setup step %d: %+v, %v", i, res, err)
+		}
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		res, err := s.Step(id)
+		if err != nil || res.Outcome != Progressed {
+			t.Fatalf("step: %+v, %v", res, err)
+		}
+	}); n != 0 {
+		t.Fatalf("compute/write step allocates %v per run, want 0", n)
+	}
+}
+
+// benchProgram is the hotspot-style transaction the throughput
+// benchmarks run: lock, read, compute, write, commit.
+func benchProgram(ent string) *txn.Program {
+	return txn.NewProgram("bench-" + ent).
+		Local("x", 0).
+		LockX(ent).
+		Read(ent, "x").
+		Compute("x", value.Add(value.L("x"), value.C(1))).
+		Write(ent, value.L("x")).
+		MustBuild()
+}
+
+// BenchmarkUncontendedTxn measures one full register -> lock -> read ->
+// compute -> write -> commit -> forget cycle with no contention — the
+// engine-level grant/release hot path.
+func BenchmarkUncontendedTxn(b *testing.B) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store})
+	prog := benchProgram("a")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Register(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			res, err := s.Step(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Outcome == Committed {
+				break
+			}
+		}
+		if err := s.Forget(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContendedWait measures the no-deadlock wait check: a second
+// transaction requests an entity an exclusive holder pins, blocks, is
+// polled once, and is then aborted. Covers AcquireID's blocker path,
+// wait-for arc maintenance, and the incremental cycle check.
+func BenchmarkContendedWait(b *testing.B) {
+	store := entity.NewStore(map[string]int64{"a": 0})
+	s := New(Config{Store: store})
+	holderProg := txn.NewProgram("holder").
+		Local("x", 0).
+		LockX("a").
+		Read("a", "x").
+		Write("a", value.L("x")).
+		MustBuild()
+	holder := s.MustRegister(holderProg)
+	if res, err := s.Step(holder); err != nil || res.Outcome != Progressed {
+		b.Fatalf("holder lock: %+v, %v", res, err)
+	}
+	waiterProg := benchProgram("a")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Register(waiterProg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Step(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != Blocked {
+			b.Fatalf("outcome %v, want Blocked", res.Outcome)
+		}
+		if res, err = s.Step(id); err != nil || res.Outcome != StillWaiting {
+			b.Fatalf("poll: %+v, %v", res, err)
+		}
+		if err := s.Abort(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

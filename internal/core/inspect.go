@@ -40,8 +40,8 @@ func (s *System) Locals(id txn.ID) (map[string]int64, error) {
 		return nil, err
 	}
 	out := make(map[string]int64, len(t.locals))
-	for k, v := range t.locals {
-		out[k] = v
+	for slot, name := range t.analysis.LocalNames {
+		out[name] = t.locals[slot]
 	}
 	return out, nil
 }
@@ -55,8 +55,15 @@ func (s *System) LocalCopy(id txn.ID, entityName string) (int64, bool) {
 	if !ok {
 		return 0, false
 	}
-	v, ok := t.copies[entityName]
-	return v, ok
+	ent, ok := s.names.Lookup(entityName)
+	if !ok {
+		return 0, false
+	}
+	sl := t.findSlot(ent)
+	if sl == nil || sl.mode != lock.Exclusive {
+		return 0, false
+	}
+	return sl.copy, true
 }
 
 // StateIndex returns id's current state index (atomic operations
@@ -301,25 +308,24 @@ func (s *System) CheckInvariants() error {
 			continue
 		}
 		held := s.locks.HeldBy(id)
-		if len(held) != len(t.heldAt) {
-			return fmt.Errorf("core: %v heldAt size %d != lock table %d", id, len(t.heldAt), len(held))
+		if len(held) != len(t.slots) {
+			return fmt.Errorf("core: %v heldAt size %d != lock table %d", id, len(t.slots), len(held))
 		}
 		for _, e := range held {
-			li, ok := t.heldAt[e]
-			if !ok {
+			ent, ok := s.names.Lookup(e)
+			var sl *lockSlot
+			if ok {
+				sl = t.findSlot(ent)
+			}
+			if sl == nil {
 				return fmt.Errorf("core: %v missing heldAt for %q", id, e)
 			}
-			if li < 0 || li >= t.lockIndex {
-				return fmt.Errorf("core: %v heldAt[%q] = %d outside [0,%d)", id, e, li, t.lockIndex)
+			if sl.heldAt < 0 || sl.heldAt >= t.lockIndex {
+				return fmt.Errorf("core: %v heldAt[%q] = %d outside [0,%d)", id, e, sl.heldAt, t.lockIndex)
 			}
-			m, _ := s.locks.ModeOf(id, e)
-			if t.modes[e] != m {
+			m, _ := s.locks.ModeOfID(id, ent)
+			if sl.mode != m {
 				return fmt.Errorf("core: %v mode cache stale for %q", id, e)
-			}
-			if m == lock.Exclusive {
-				if _, ok := t.copies[e]; !ok {
-					return fmt.Errorf("core: %v missing local copy of exclusively held %q", id, e)
-				}
 			}
 		}
 		wantRecs := t.lockIndex

@@ -5,38 +5,43 @@ import (
 	"sort"
 
 	"partialrollback/internal/deadlock"
+	"partialrollback/internal/intern"
 	"partialrollback/internal/lock"
 	"partialrollback/internal/sdg"
 	"partialrollback/internal/txn"
 )
 
-// releaseAndRefresh releases t's lock on entityName, rebuilds the
-// wait-for arcs of the entity's remaining waiters against the new
-// holder set, and applies any promoted grants.
-func (s *System) releaseAndRefresh(t *tstate, entityName string) error {
-	grants, err := s.locks.Release(t.id, entityName)
+// releaseAndRefresh releases t's lock on ent, rebuilds the wait-for
+// arcs of the entity's remaining waiters against the new holder set,
+// and applies any promoted grants.
+func (s *System) releaseAndRefresh(t *tstate, ent intern.ID) error {
+	grants, err := s.locks.ReleaseID(t.id, ent, s.grantsBuf[:0])
+	s.grantsBuf = grants
 	if err != nil {
 		return err
 	}
-	s.refreshWaiters(entityName)
+	s.refreshWaiters(ent)
 	s.applyGrants(grants)
 	return nil
 }
 
 // refreshWaiters rebuilds the wait-for arcs of every transaction still
-// queued on entityName so they point at the current conflicting
-// holders.
-func (s *System) refreshWaiters(entityName string) {
-	holders := s.locks.Holders(entityName)
-	for _, w := range s.locks.Queue(entityName) {
-		s.wf.ClearEntityWaits(w.Txn, entityName)
-		for _, h := range holders {
+// queued on ent so they point at the current conflicting holders.
+func (s *System) refreshWaiters(ent intern.ID) {
+	if !s.locks.HasWaiters(ent) {
+		return
+	}
+	s.holdersBuf = s.locks.HoldersAppend(ent, s.holdersBuf[:0])
+	s.queueBuf = s.locks.QueueAppend(ent, s.queueBuf[:0])
+	for _, w := range s.queueBuf {
+		s.wf.ClearEntityWaitsID(w.Txn, ent)
+		for _, h := range s.holdersBuf {
 			if h == w.Txn {
 				continue
 			}
-			hm, _ := s.locks.ModeOf(h, entityName)
+			hm, _ := s.locks.ModeOfID(h, ent)
 			if w.Mode == lock.Exclusive || hm == lock.Exclusive {
-				s.wf.AddWait(w.Txn, h, entityName)
+				s.wf.AddWaitID(w.Txn, h, ent)
 			}
 		}
 	}
@@ -73,12 +78,16 @@ func (s *System) planRollback(t *tstate, contested map[string]bool) (deadlock.Vi
 	}
 	target := t.lockIndex
 	for e := range contested {
-		li, held := t.heldAt[e]
-		if !held {
+		ent, ok := s.names.Lookup(e)
+		if !ok {
 			continue
 		}
-		if li < target {
-			target = li
+		sl := t.findSlot(ent)
+		if sl == nil {
+			continue
+		}
+		if sl.heldAt < target {
+			target = sl.heldAt
 		}
 	}
 	if target == t.lockIndex {
@@ -230,17 +239,18 @@ func (s *System) escalateStarvation(cycles [][]txn.ID) error {
 // guarantees no later writes survive); others reset to pristine values
 // (global value for entities, initial value for locals).
 func (s *System) restoreSingleCopy(t *tstate, q int) error {
-	for e := range t.heldAt {
-		if t.modes[e] != lock.Exclusive {
+	for i := range t.slots {
+		sl := &t.slots[i]
+		if sl.mode != lock.Exclusive {
 			continue
 		}
-		if t.sdg.RestoreActionFor("e:"+e, q) == sdg.ResetPristine {
-			t.copies[e] = s.store.MustGet(e)
+		if t.sdg.RestoreActionFor("e:"+s.names.Name(sl.ent), q) == sdg.ResetPristine {
+			sl.copy = s.store.MustGetID(sl.ent)
 		}
 	}
-	for l := range t.locals {
-		if t.sdg.RestoreActionFor("l:"+l, q) == sdg.ResetPristine {
-			t.locals[l] = t.prog.Locals[l]
+	for slot, name := range t.analysis.LocalNames {
+		if t.sdg.RestoreActionFor("l:"+name, q) == sdg.ResetPristine {
+			t.locals[slot] = t.analysis.InitLocals[slot]
 		}
 	}
 	return nil
@@ -265,33 +275,34 @@ func (s *System) rollbackTo(t *tstate, q int) error {
 
 	// Retract a pending lock request.
 	if t.status == StatusWaiting {
-		grants, _ := s.locks.RemoveWaiter(t.id, t.waitEntity)
+		grants, _ := s.locks.RemoveWaiterID(t.id, t.waitEnt, s.grantsBuf[:0])
+		s.grantsBuf = grants
 		s.wf.RemoveAllWaitsBy(t.id)
-		waited := t.waitEntity
+		waited := t.waitEnt
 		t.status = StatusRunning
 		t.waitEntity = ""
+		t.waitEnt = intern.None
 		s.refreshWaiters(waited)
 		s.applyGrants(grants)
 	}
 
-	// Release locks acquired at or after lock state q. Global values
-	// were never modified (updates are deferred to unlock/commit), so
-	// releasing restores them per the paper's rollback step 1-2.
-	var released []string
-	for e, li := range t.heldAt {
-		if li >= q {
-			released = append(released, e)
+	// Release locks acquired at or after lock state q, in name order
+	// (deterministic event streams). Global values were never modified
+	// (updates are deferred to unlock/commit), so releasing restores
+	// them per the paper's rollback step 1-2.
+	s.releaseBuf = s.releaseBuf[:0]
+	for i := range t.slots {
+		if t.slots[i].heldAt >= q {
+			s.releaseBuf = append(s.releaseBuf, nameEnt{name: s.names.Name(t.slots[i].ent), ent: t.slots[i].ent})
 		}
 	}
-	sort.Strings(released)
-	for _, e := range released {
+	sortNameEnts(s.releaseBuf)
+	for _, ne := range s.releaseBuf {
 		if s.recorder != nil {
-			s.recorder.OnRetract(t.id, e)
+			s.recorder.OnRetract(t.id, ne.name)
 		}
-		delete(t.copies, e)
-		delete(t.heldAt, e)
-		delete(t.modes, e)
-		if err := s.releaseAndRefresh(t, e); err != nil {
+		t.dropSlot(ne.ent)
+		if err := s.releaseAndRefresh(t, ne.ent); err != nil {
 			return err
 		}
 	}
@@ -302,24 +313,21 @@ func (s *System) rollbackTo(t *tstate, q int) error {
 		if q != 0 {
 			return fmt.Errorf("core: total strategy rollback target %d != 0", q)
 		}
-		for k, v := range t.prog.Locals {
-			t.locals[k] = v
-		}
+		copy(t.locals, t.analysis.InitLocals)
 	case MCS:
 		if t.mcs.LockIndex() != t.lockIndex {
 			return fmt.Errorf("core: %v MCS lock index out of sync (%d != %d)", t.id, t.mcs.LockIndex(), t.lockIndex)
 		}
 		t.mcs.Rollback(q)
-		for k, v := range t.mcs.Locals() {
-			t.locals[k] = v
-		}
-		for e := range t.heldAt {
-			if t.modes[e] == lock.Exclusive {
-				v, ok := t.mcs.EntityValue(e)
+		t.locals = t.mcs.CopyLocalsInto(t.locals[:0])
+		for i := range t.slots {
+			sl := &t.slots[i]
+			if sl.mode == lock.Exclusive {
+				v, ok := t.mcs.EntityValueID(sl.ent)
 				if !ok {
-					return fmt.Errorf("core: %v MCS lost copy of %q", t.id, e)
+					return fmt.Errorf("core: %v MCS lost copy of %q", t.id, s.names.Name(sl.ent))
 				}
-				t.copies[e] = v
+				sl.copy = v
 			}
 		}
 	case SDG:
@@ -331,22 +339,23 @@ func (s *System) rollbackTo(t *tstate, q int) error {
 		}
 	case Hybrid:
 		if cp, ok := t.hyb.Checkpoint(q); ok {
-			for l := range t.locals {
-				if v, ok := cp.Locals[l]; ok {
-					t.locals[l] = v
-				} else {
-					t.locals[l] = t.prog.Locals[l]
-				}
-			}
-			for e := range t.heldAt {
-				if t.modes[e] != lock.Exclusive {
+			copy(t.locals, cp.Locals)
+			for i := range t.slots {
+				sl := &t.slots[i]
+				if sl.mode != lock.Exclusive {
 					continue
 				}
-				v, ok := cp.Copies[e]
-				if !ok {
-					return fmt.Errorf("core: %v checkpoint %d lacks copy of %q", t.id, q, e)
+				found := false
+				for _, c := range cp.Copies {
+					if c.Ent == sl.ent {
+						sl.copy = c.Val
+						found = true
+						break
+					}
 				}
-				t.copies[e] = v
+				if !found {
+					return fmt.Errorf("core: %v checkpoint %d lacks copy of %q", t.id, q, s.names.Name(sl.ent))
+				}
 			}
 		} else if err := s.restoreSingleCopy(t, q); err != nil {
 			return err

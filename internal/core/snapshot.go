@@ -101,10 +101,14 @@ func (s *System) DebugSnapshot() DebugSnapshot {
 		}
 		for _, e := range s.locks.HeldBy(id) {
 			m := lock.Shared
-			if mm, ok := t.modes[e]; ok {
-				m = mm
+			idx := 0
+			if ent, ok := s.names.Lookup(e); ok {
+				if sl := t.findSlot(ent); sl != nil {
+					m = sl.mode
+					idx = sl.heldAt
+				}
 			}
-			ts.Held = append(ts.Held, HeldLock{Entity: e, Mode: m.String(), Index: t.heldAt[e]})
+			ts.Held = append(ts.Held, HeldLock{Entity: e, Mode: m.String(), Index: idx})
 		}
 		if t.status == StatusWaiting {
 			ts.WaitingOn = t.waitEntity

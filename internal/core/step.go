@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"partialrollback/internal/history"
+	"partialrollback/internal/hybrid"
+	"partialrollback/internal/intern"
 	"partialrollback/internal/lock"
 	"partialrollback/internal/txn"
 	"partialrollback/internal/value"
@@ -25,12 +27,12 @@ func (s *System) Step(id txn.ID) (StepResult, error) {
 		return StepResult{Outcome: StillWaiting}, nil
 	}
 	s.stats.Steps++
-	op := t.prog.Ops[t.pc]
+	op := &t.prog.Ops[t.pc]
 	switch op.Kind {
 	case txn.OpLockS, txn.OpLockX:
 		return s.stepLock(t, op)
 	case txn.OpRead:
-		v, err := s.readEntity(t, op.Entity)
+		v, err := s.readEntity(t, t.opEnt[t.pc], op.Entity)
 		if err != nil {
 			return StepResult{}, err
 		}
@@ -40,19 +42,19 @@ func (s *System) Step(id txn.ID) (StepResult, error) {
 		s.advance(t)
 		return StepResult{Outcome: Progressed}, nil
 	case txn.OpWrite:
-		v, err := op.Expr.Eval(value.MapEnv(t.locals))
+		v, err := s.evalExpr(t)
 		if err != nil {
-			return StepResult{}, fmt.Errorf("core: %v op %d: %w", t.id, t.pc, err)
+			return StepResult{}, err
 		}
-		if err := s.writeEntity(t, op.Entity, v); err != nil {
+		if err := s.writeEntity(t, t.opEnt[t.pc], op.Entity, v); err != nil {
 			return StepResult{}, err
 		}
 		s.advance(t)
 		return StepResult{Outcome: Progressed}, nil
 	case txn.OpCompute:
-		v, err := op.Expr.Eval(value.MapEnv(t.locals))
+		v, err := s.evalExpr(t)
 		if err != nil {
-			return StepResult{}, fmt.Errorf("core: %v op %d: %w", t.id, t.pc, err)
+			return StepResult{}, err
 		}
 		if err := s.assignLocal(t, op.Local, v); err != nil {
 			return StepResult{}, err
@@ -60,7 +62,7 @@ func (s *System) Step(id txn.ID) (StepResult, error) {
 		s.advance(t)
 		return StepResult{Outcome: Progressed}, nil
 	case txn.OpUnlock:
-		if err := s.unlockEntity(t, op.Entity); err != nil {
+		if err := s.unlockEntity(t, t.opEnt[t.pc], op.Entity); err != nil {
 			return StepResult{}, err
 		}
 		t.unlocked = true
@@ -91,8 +93,19 @@ func (s *System) advance(t *tstate) {
 	t.stats.OpsExecuted++
 }
 
+// evalExpr evaluates the current op's expression against the
+// transaction's slot-indexed locals (no per-eval Env allocation).
+func (s *System) evalExpr(t *tstate) (int64, error) {
+	v, err := value.EvalSlots(t.prog.Ops[t.pc].Expr, t.analysis.LocalSlot, t.locals)
+	if err != nil {
+		return 0, fmt.Errorf("core: %v op %d: %w", t.id, t.pc, err)
+	}
+	return v, nil
+}
+
 // stepLock handles a lock-request operation for a running transaction.
-func (s *System) stepLock(t *tstate, op txn.Op) (StepResult, error) {
+func (s *System) stepLock(t *tstate, op *txn.Op) (StepResult, error) {
+	ent := t.opEnt[t.pc]
 	mode := lock.Shared
 	if op.Kind == txn.OpLockX {
 		mode = lock.Exclusive
@@ -110,25 +123,33 @@ func (s *System) stepLock(t *tstate, op txn.Op) (StepResult, error) {
 		// The state immediately preceding this request is a planned
 		// checkpoint: snapshot locals and entity copies now, before the
 		// request can be granted.
-		t.hyb.TakeCheckpoint(t.lockIndex, t.locals, t.copies)
+		s.copiesBuf = s.copiesBuf[:0]
+		for i := range t.slots {
+			if t.slots[i].mode == lock.Exclusive {
+				s.copiesBuf = append(s.copiesBuf, hybrid.EntityCopy{Ent: t.slots[i].ent, Val: t.slots[i].copy})
+			}
+		}
+		t.hyb.TakeCheckpoint(t.lockIndex, t.locals, s.copiesBuf)
 	}
 
-	granted, blockers, err := s.locks.Acquire(t.id, op.Entity, mode)
+	granted, blockers, err := s.locks.AcquireID(t.id, ent, mode, s.blockersBuf[:0])
+	s.blockersBuf = blockers
 	if err != nil {
 		return StepResult{}, err
 	}
 	if granted {
-		s.finishGrant(t, op.Entity, mode)
+		s.finishGrant(t, ent, op.Entity, mode)
 		return StepResult{Outcome: Progressed}, nil
 	}
 
 	// Wait response (§2 rule 2).
 	t.status = StatusWaiting
 	t.waitEntity = op.Entity
+	t.waitEnt = ent
 	t.stats.Waits++
 	s.stats.Waits++
 	for _, b := range blockers {
-		s.wf.AddWait(t.id, b, op.Entity)
+		s.wf.AddWaitID(t.id, b, ent)
 	}
 	s.emit(Event{Kind: EventWait, Txn: t.id, Entity: op.Entity})
 
@@ -160,18 +181,17 @@ func (s *System) stepLock(t *tstate, op txn.Op) (StepResult, error) {
 // local-copy creation for exclusive locks, strategy hooks, and the
 // program-counter advance past the request op. Used both for immediate
 // grants and for promotions of queued waiters.
-func (s *System) finishGrant(t *tstate, entityName string, mode lock.Mode) {
-	t.heldAt[entityName] = t.lockIndex
-	t.modes[entityName] = mode
+func (s *System) finishGrant(t *tstate, ent intern.ID, entityName string, mode lock.Mode) {
+	sl := lockSlot{ent: ent, mode: mode, heldAt: t.lockIndex}
 	if mode == lock.Exclusive {
-		gv := s.store.MustGet(entityName)
-		t.copies[entityName] = gv
+		sl.copy = s.store.MustGetID(ent)
 		if t.mcs != nil {
-			t.mcs.OnLock(entityName, true, gv)
+			t.mcs.OnLockID(ent, true, sl.copy)
 		}
 	} else if t.mcs != nil {
-		t.mcs.OnLock(entityName, false, 0)
+		t.mcs.OnLockID(ent, false, 0)
 	}
+	t.slots = append(t.slots, sl)
 	if t.sdg != nil {
 		t.sdg.OnLock()
 	}
@@ -180,6 +200,7 @@ func (s *System) finishGrant(t *tstate, entityName string, mode lock.Mode) {
 	if t.status == StatusWaiting {
 		t.status = StatusRunning
 		t.waitEntity = ""
+		t.waitEnt = intern.None
 		s.wf.RemoveAllWaitsBy(t.id)
 	}
 	if s.recorder != nil {
@@ -193,65 +214,68 @@ func (s *System) finishGrant(t *tstate, entityName string, mode lock.Mode) {
 	s.stats.Grants++
 	// A shared grant can jump past queued exclusive waiters; those
 	// waiters now wait on this holder too, so their arcs are rebuilt.
-	s.refreshWaiters(entityName)
+	s.refreshWaiters(ent)
 	s.emit(Event{Kind: EventGrant, Txn: t.id, Entity: entityName, Detail: mode.String()})
 }
 
-// applyGrants processes lock promotions produced by releases.
-func (s *System) applyGrants(grants []lock.Grant) {
+// applyGrants processes lock promotions produced by releases. The
+// grants slice is usually s.grantsBuf; no callee appends to it.
+func (s *System) applyGrants(grants []lock.GrantID) {
 	for _, g := range grants {
 		t, ok := s.txns[g.Txn]
 		if !ok {
 			continue
 		}
-		s.finishGrant(t, g.Entity, g.Mode)
+		s.finishGrant(t, g.Ent, s.names.Name(g.Ent), g.Mode)
 	}
 }
 
 // readEntity returns the value t observes for a locked entity: its
 // local copy for exclusive holds, the (stable) global value for shared
 // holds.
-func (s *System) readEntity(t *tstate, entityName string) (int64, error) {
-	mode, held := t.modes[entityName]
-	if !held {
+func (s *System) readEntity(t *tstate, ent intern.ID, entityName string) (int64, error) {
+	sl := t.findSlot(ent)
+	if sl == nil {
 		return 0, fmt.Errorf("core: %v read of unheld entity %q", t.id, entityName)
 	}
-	if mode == lock.Exclusive {
-		return t.copies[entityName], nil
+	if sl.mode == lock.Exclusive {
+		return sl.copy, nil
 	}
-	return s.store.MustGet(entityName), nil
+	return s.store.MustGetID(ent), nil
 }
 
 // writeEntity updates t's local copy of an exclusively held entity.
-func (s *System) writeEntity(t *tstate, entityName string, v int64) error {
-	if m, held := t.modes[entityName]; !held || m != lock.Exclusive {
+func (s *System) writeEntity(t *tstate, ent intern.ID, entityName string, v int64) error {
+	sl := t.findSlot(ent)
+	if sl == nil || sl.mode != lock.Exclusive {
 		return fmt.Errorf("core: %v write to entity %q without exclusive lock", t.id, entityName)
 	}
-	t.copies[entityName] = v
+	sl.copy = v
 	if t.mcs != nil {
-		if err := t.mcs.WriteEntity(entityName, v); err != nil {
+		if err := t.mcs.WriteEntityID(ent, v); err != nil {
 			return err
 		}
 	}
 	if t.sdg != nil {
-		t.sdg.OnWrite("e:" + entityName)
+		t.sdg.OnWrite(t.analysis.OpTarget[t.pc])
 	}
 	return nil
 }
 
 // assignLocal updates a local variable (Read destination or Compute).
-func (s *System) assignLocal(t *tstate, local string, v int64) error {
-	if _, ok := t.locals[local]; !ok {
-		return fmt.Errorf("core: %v assignment to undeclared local %q", t.id, local)
+func (s *System) assignLocal(t *tstate, localName string, v int64) error {
+	slot := t.analysis.OpLocalSlot[t.pc]
+	if slot < 0 {
+		return fmt.Errorf("core: %v assignment to undeclared local %q", t.id, localName)
 	}
-	t.locals[local] = v
+	t.locals[slot] = v
 	if t.mcs != nil {
-		if err := t.mcs.WriteLocal(local, v); err != nil {
+		if err := t.mcs.WriteLocalSlot(slot, v); err != nil {
 			return err
 		}
 	}
 	if t.sdg != nil {
-		t.sdg.OnWrite("l:" + local)
+		t.sdg.OnWrite(t.analysis.OpTarget[t.pc])
 	}
 	return nil
 }
@@ -259,47 +283,50 @@ func (s *System) assignLocal(t *tstate, local string, v int64) error {
 // unlockEntity releases one entity during the shrinking phase,
 // installing the local copy as the new global value for exclusive
 // holds.
-func (s *System) unlockEntity(t *tstate, entityName string) error {
-	mode, held := t.modes[entityName]
-	if !held {
+func (s *System) unlockEntity(t *tstate, ent intern.ID, entityName string) error {
+	sl := t.findSlot(ent)
+	if sl == nil {
 		return fmt.Errorf("core: %v unlock of unheld entity %q", t.id, entityName)
 	}
-	if mode == lock.Exclusive {
-		if err := s.store.Install(entityName, t.copies[entityName]); err != nil {
+	if sl.mode == lock.Exclusive {
+		if err := s.store.InstallID(ent, sl.copy); err != nil {
 			return err
 		}
 	}
 	if s.recorder != nil {
 		s.recorder.OnRelease(t.id, entityName)
 	}
-	delete(t.copies, entityName)
-	delete(t.heldAt, entityName)
-	delete(t.modes, entityName)
+	t.dropSlot(ent)
 	if t.mcs != nil {
-		t.mcs.OnUnlock(entityName)
+		t.mcs.OnUnlockID(ent)
 	}
-	return s.releaseAndRefresh(t, entityName)
+	return s.releaseAndRefresh(t, ent)
 }
 
 // commit terminates t: installs all exclusive local copies, releases
-// every lock, and removes t from the concurrency graph.
+// every lock (in name order, for deterministic event streams), and
+// removes t from the concurrency graph.
 func (s *System) commit(t *tstate) error {
-	for _, entityName := range s.locks.HeldBy(t.id) {
-		if t.modes[entityName] == lock.Exclusive {
-			if err := s.store.Install(entityName, t.copies[entityName]); err != nil {
+	s.releaseBuf = s.releaseBuf[:0]
+	for i := range t.slots {
+		s.releaseBuf = append(s.releaseBuf, nameEnt{name: s.names.Name(t.slots[i].ent), ent: t.slots[i].ent})
+	}
+	sortNameEnts(s.releaseBuf)
+	for _, ne := range s.releaseBuf {
+		sl := t.findSlot(ne.ent)
+		if sl.mode == lock.Exclusive {
+			if err := s.store.InstallID(ne.ent, sl.copy); err != nil {
 				return err
 			}
 		}
 		if s.recorder != nil {
-			s.recorder.OnRelease(t.id, entityName)
+			s.recorder.OnRelease(t.id, ne.name)
 		}
-		if err := s.releaseAndRefresh(t, entityName); err != nil {
+		if err := s.releaseAndRefresh(t, ne.ent); err != nil {
 			return err
 		}
 	}
-	t.copies = map[string]int64{}
-	t.heldAt = map[string]int{}
-	t.modes = map[string]lock.Mode{}
+	t.slots = t.slots[:0]
 	t.status = StatusCommitted
 	t.pc = len(t.prog.Ops)
 	s.wf.RemoveTxn(t.id)

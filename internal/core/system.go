@@ -23,6 +23,7 @@ import (
 	"partialrollback/internal/entity"
 	"partialrollback/internal/history"
 	"partialrollback/internal/hybrid"
+	"partialrollback/internal/intern"
 	"partialrollback/internal/lock"
 	"partialrollback/internal/mcs"
 	"partialrollback/internal/sdg"
@@ -140,25 +141,42 @@ type lockStateRec struct {
 	stateIndex int64
 }
 
+// lockSlot is one lock a transaction currently holds: the entity's
+// intern ID, the mode, the lock index of its request, and (for
+// exclusive holds) the transaction's local copy of the entity's value.
+// The slot list replaces the former copies/heldAt/modes string maps: a
+// handful of slots scanned linearly beats three map lookups per
+// operation, and a grant appends one record with no allocation.
+type lockSlot struct {
+	ent    intern.ID
+	mode   lock.Mode
+	heldAt int
+	copy   int64
+}
+
 // tstate is the runtime state of one registered transaction.
 type tstate struct {
 	id       txn.ID
 	prog     *txn.Program
 	analysis *txn.Analysis
-	entry    int64 // entry order (Theorem 2 partial order)
+	// opEnt[i] is the interned entity of Ops[i] (intern.None when op i
+	// has no entity operand). Read-only after Register.
+	opEnt []intern.ID
+	entry int64 // entry order (Theorem 2 partial order)
 
 	status     Status
 	pc         int
 	stateIndex int64
 	lockIndex  int
 
-	locals map[string]int64
-	copies map[string]int64 // local copies of exclusively locked entities
-	heldAt map[string]int   // entity -> lock index of its request
-	modes  map[string]lock.Mode
+	// locals is indexed by the analysis' local slot (LocalSlot /
+	// LocalNames); slots holds the held locks in grant order.
+	locals []int64
+	slots  []lockSlot
 
 	lockStates []lockStateRec
 	waitEntity string
+	waitEnt    intern.ID
 
 	unlocked     bool // entered shrinking phase; never rolled back again
 	declaredLast bool
@@ -171,6 +189,47 @@ type tstate struct {
 	hyb *hybrid.State
 
 	stats TxnStats
+}
+
+// findSlot returns the slot for ent, or nil if not held.
+func (t *tstate) findSlot(ent intern.ID) *lockSlot {
+	for i := range t.slots {
+		if t.slots[i].ent == ent {
+			return &t.slots[i]
+		}
+	}
+	return nil
+}
+
+// dropSlot removes ent's slot (order is not significant; name-sorted
+// traversals sort on the fly).
+func (t *tstate) dropSlot(ent intern.ID) {
+	for i := range t.slots {
+		if t.slots[i].ent == ent {
+			t.slots[i] = t.slots[len(t.slots)-1]
+			t.slots = t.slots[:len(t.slots)-1]
+			return
+		}
+	}
+}
+
+// nameEnt pairs an entity's name with its intern ID for name-ordered
+// release traversals (determinism requires name order, which is not ID
+// order: "e10" < "e2" lexicographically).
+type nameEnt struct {
+	name string
+	ent  intern.ID
+}
+
+// sortNameEnts sorts by name ascending. Insertion sort: the slices are
+// one transaction's held set (a handful of elements) and this compiles
+// without the closure allocation of sort.Slice.
+func sortNameEnts(s []nameEnt) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].name < s[j-1].name; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // TxnStats accumulates per-transaction outcomes.
@@ -222,6 +281,7 @@ type System struct {
 
 	cfg      Config
 	store    *entity.Store
+	names    *intern.Table // the store's interner, shared with locks and wf
 	locks    *lock.Table
 	wf       *waitfor.Graph
 	policy   deadlock.Policy
@@ -230,6 +290,16 @@ type System struct {
 	txns   map[txn.ID]*tstate
 	nextID txn.ID
 	entry  int64
+
+	// Scratch buffers reused across operations (guarded by mu). Callees
+	// never re-enter the operation that owns a buffer, so each is in use
+	// by at most one stack frame at a time.
+	blockersBuf []txn.ID
+	grantsBuf   []lock.GrantID
+	holdersBuf  []txn.ID
+	queueBuf    []lock.Waiter
+	copiesBuf   []hybrid.EntityCopy
+	releaseBuf  []nameEnt
 
 	stats Stats
 }
@@ -249,11 +319,13 @@ func New(cfg Config) *System {
 	if cfg.StarvationLimit == 0 {
 		cfg.StarvationLimit = 8
 	}
+	names := cfg.Store.Interner()
 	s := &System{
 		cfg:    cfg,
 		store:  cfg.Store,
-		locks:  lock.NewTable(),
-		wf:     waitfor.New(),
+		names:  names,
+		locks:  lock.NewTableInterned(names),
+		wf:     waitfor.NewInterned(names),
 		policy: cfg.Policy,
 		txns:   map[txn.ID]*tstate{},
 	}
@@ -276,26 +348,31 @@ func (s *System) Register(prog *txn.Program) (txn.ID, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	a := txn.Analyze(prog)
+	opEnt := make([]intern.ID, len(prog.Ops))
+	for i, o := range prog.Ops {
+		opEnt[i] = intern.None
+		if o.Entity != "" {
+			opEnt[i] = s.names.Intern(o.Entity)
+		}
+	}
 	s.nextID++
 	s.entry++
 	id := s.nextID
 	t := &tstate{
 		id:       id,
 		prog:     prog,
-		analysis: txn.Analyze(prog),
+		analysis: a,
+		opEnt:    opEnt,
 		entry:    s.entry,
 		status:   StatusRunning,
-		locals:   map[string]int64{},
-		copies:   map[string]int64{},
-		heldAt:   map[string]int{},
-		modes:    map[string]lock.Mode{},
+		locals:   make([]int64, len(a.InitLocals)),
+		waitEnt:  intern.None,
 	}
-	for k, v := range prog.Locals {
-		t.locals[k] = v
-	}
+	copy(t.locals, a.InitLocals)
 	switch s.cfg.Strategy {
 	case MCS:
-		t.mcs = mcs.New(prog.Locals)
+		t.mcs = mcs.NewSlots(s.names, a.LocalNames, a.InitLocals)
 	case SDG:
 		t.sdg = sdg.New()
 	case Hybrid:
@@ -307,8 +384,9 @@ func (s *System) Register(prog *txn.Program) (txn.ID, error) {
 		t.sdg = t.hyb.SDG()
 	}
 	// Verify every locked entity exists up front so execution cannot
-	// fail mid-flight on an undefined entity.
-	for _, e := range t.analysis.LockSet() {
+	// fail mid-flight on an undefined entity. Checked per registration
+	// (not per plan): the store's defined set can change via Restore.
+	for _, e := range a.LockSet() {
 		if !s.store.Exists(e) {
 			return txn.None, fmt.Errorf("core: program %s locks undefined entity %q", prog.Name, e)
 		}

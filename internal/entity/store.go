@@ -8,18 +8,30 @@
 // (or the transaction commits). The store therefore only sees
 // installed, committed-or-unlocked values; rollback never needs to
 // touch it.
+//
+// The store is also the interning point: defining an entity assigns it
+// a dense intern.ID, and everything below the facade/wire/obs boundary
+// (lock table, wait-for graph, per-transaction state) indexes by that
+// ID instead of hashing the name. Values live in a slice indexed by ID,
+// so the hot-path reads and installs are a bounds check and an array
+// access under the lock.
 package entity
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"partialrollback/internal/intern"
 )
 
 // Store is the global entity map. It is safe for concurrent use.
 type Store struct {
 	mu          sync.RWMutex
-	vals        map[string]int64
+	names       *intern.Table
+	vals        []int64 // indexed by intern.ID
+	defined     []bool  // indexed by intern.ID
+	nDefined    int
 	constraints []Constraint
 	installHook func(name string, v int64)
 }
@@ -33,30 +45,69 @@ type Constraint struct {
 
 // NewStore creates a store with the given initial values.
 func NewStore(initial map[string]int64) *Store {
-	vals := make(map[string]int64, len(initial))
-	for k, v := range initial {
-		vals[k] = v
+	s := &Store{names: intern.NewTable()}
+	// Deterministic ID assignment: define in sorted-name order.
+	keys := make([]string, 0, len(initial))
+	for k := range initial {
+		keys = append(keys, k)
 	}
-	return &Store{vals: vals}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Define(k, initial[k])
+	}
+	return s
 }
 
 // NewUniformStore creates a store with n entities named by prefix and
 // index ("e0".."e{n-1}" for prefix "e"), all holding init.
 func NewUniformStore(prefix string, n int, init int64) *Store {
-	vals := make(map[string]int64, n)
+	s := &Store{names: intern.NewTable()}
 	for i := 0; i < n; i++ {
-		vals[fmt.Sprintf("%s%d", prefix, i)] = init
+		s.Define(fmt.Sprintf("%s%d", prefix, i), init)
 	}
-	return &Store{vals: vals}
+	return s
 }
+
+// Interner exposes the store's name↔ID table. The lock table, wait-for
+// graph and transaction state share it so every layer agrees on IDs.
+func (s *Store) Interner() *intern.Table { return s.names }
+
+// IDOf returns the intern ID for a defined entity name.
+func (s *Store) IDOf(name string) (intern.ID, bool) {
+	id, ok := s.names.Lookup(name)
+	if !ok {
+		return intern.None, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.defined) || !s.defined[id] {
+		return intern.None, false
+	}
+	return id, true
+}
+
+// NameOf resolves an intern ID back to the entity name (boundary use:
+// events, snapshots, wire responses).
+func (s *Store) NameOf(id intern.ID) string { return s.names.Name(id) }
 
 // Get returns the global value of name. Unknown entities read as zero
 // with ok=false.
 func (s *Store) Get(name string) (int64, bool) {
+	id, ok := s.names.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return s.GetID(id)
+}
+
+// GetID is Get by intern ID — the hot-path read.
+func (s *Store) GetID(id intern.ID) (int64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	v, ok := s.vals[name]
-	return v, ok
+	if int(id) >= len(s.defined) || !s.defined[id] {
+		return 0, false
+	}
+	return s.vals[id], true
 }
 
 // MustGet returns the global value of name, panicking if absent. The
@@ -70,12 +121,31 @@ func (s *Store) MustGet(name string) int64 {
 	return v
 }
 
+// MustGetID is MustGet by intern ID.
+func (s *Store) MustGetID(id intern.ID) int64 {
+	v, ok := s.GetID(id)
+	if !ok {
+		panic(fmt.Sprintf("entity: undefined entity %q", s.names.Name(id)))
+	}
+	return v
+}
+
 // Define creates or overwrites an entity outside any transaction
-// (setup only).
-func (s *Store) Define(name string, v int64) {
+// (setup only), interning its name, and returns the entity's ID.
+func (s *Store) Define(name string, v int64) intern.ID {
+	id := s.names.Intern(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.vals[name] = v
+	for int(id) >= len(s.vals) {
+		s.vals = append(s.vals, 0)
+		s.defined = append(s.defined, false)
+	}
+	if !s.defined[id] {
+		s.defined[id] = true
+		s.nDefined++
+	}
+	s.vals[id] = v
+	return id
 }
 
 // Exists reports whether name is defined.
@@ -89,15 +159,24 @@ func (s *Store) Exists(name string) bool {
 // transaction commits. The install hook, if set, observes the write
 // before it becomes visible (write-ahead logging).
 func (s *Store) Install(name string, v int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.vals[name]; !ok {
+	id, ok := s.names.Lookup(name)
+	if !ok {
 		return fmt.Errorf("entity: install to undefined entity %q", name)
 	}
-	if s.installHook != nil {
-		s.installHook(name, v)
+	return s.InstallID(id, v)
+}
+
+// InstallID is Install by intern ID — the hot-path write.
+func (s *Store) InstallID(id intern.ID, v int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.defined) || !s.defined[id] {
+		return fmt.Errorf("entity: install to undefined entity %q", s.names.Name(id))
 	}
-	s.vals[name] = v
+	if s.installHook != nil {
+		s.installHook(s.names.Name(id), v)
+	}
+	s.vals[id] = v
 	return nil
 }
 
@@ -114,20 +193,32 @@ func (s *Store) SetInstallHook(h func(name string, v int64)) {
 func (s *Store) Snapshot() map[string]int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make(map[string]int64, len(s.vals))
-	for k, v := range s.vals {
-		out[k] = v
+	out := make(map[string]int64, s.nDefined)
+	for id, def := range s.defined {
+		if def {
+			out[s.names.Name(intern.ID(id))] = s.vals[id]
+		}
 	}
 	return out
 }
 
 // Restore replaces the entire contents with snap (setup/test helper).
+// Names absent from snap become undefined; their intern IDs remain
+// reserved (IDs are never reused).
 func (s *Store) Restore(snap map[string]int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.vals = make(map[string]int64, len(snap))
-	for k, v := range snap {
-		s.vals[k] = v
+	for i := range s.defined {
+		s.defined[i] = false
+	}
+	s.nDefined = 0
+	s.mu.Unlock()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Define(k, snap[k])
 	}
 }
 
@@ -135,9 +226,11 @@ func (s *Store) Restore(snap map[string]int64) {
 func (s *Store) Names() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.vals))
-	for k := range s.vals {
-		out = append(out, k)
+	out := make([]string, 0, s.nDefined)
+	for id, def := range s.defined {
+		if def {
+			out = append(out, s.names.Name(intern.ID(id)))
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -147,7 +240,7 @@ func (s *Store) Names() []string {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.vals)
+	return s.nDefined
 }
 
 // AddConstraint registers a consistency constraint.

@@ -122,3 +122,45 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+func TestInternedIDAPI(t *testing.T) {
+	s := NewUniformStore("e", 4, 7)
+	id, ok := s.IDOf("e2")
+	if !ok {
+		t.Fatal("IDOf(e2) not found")
+	}
+	if got := s.NameOf(id); got != "e2" {
+		t.Fatalf("NameOf round-trip = %q, want e2", got)
+	}
+	if v, ok := s.GetID(id); !ok || v != 7 {
+		t.Fatalf("GetID = %d,%v, want 7,true", v, ok)
+	}
+	if err := s.InstallID(id, 42); err != nil {
+		t.Fatal(err)
+	}
+	if s.MustGet("e2") != 42 {
+		t.Fatalf("string view sees %d after InstallID, want 42", s.MustGet("e2"))
+	}
+	if s.MustGetID(id) != 42 {
+		t.Fatalf("MustGetID = %d, want 42", s.MustGetID(id))
+	}
+	if _, ok := s.IDOf("nope"); ok {
+		t.Fatal("IDOf found an undefined entity")
+	}
+	// NewStore assigns IDs in sorted-name order, deterministically.
+	m := NewStore(map[string]int64{"b": 1, "a": 2, "c": 3})
+	for i, name := range []string{"a", "b", "c"} {
+		id, ok := m.IDOf(name)
+		if !ok || int(id) != i {
+			t.Fatalf("IDOf(%s) = %d,%v, want %d,true", name, id, ok, i)
+		}
+	}
+	// Restore undefines missing names but keeps the interner intact.
+	m.Restore(map[string]int64{"a": 9})
+	if _, ok := m.IDOf("b"); ok {
+		t.Fatal("b still defined after Restore without it")
+	}
+	if m.MustGet("a") != 9 || m.Len() != 1 {
+		t.Fatalf("after Restore: a=%d len=%d, want 9,1", m.MustGet("a"), m.Len())
+	}
+}

@@ -21,17 +21,29 @@ import (
 	"fmt"
 	"sort"
 
+	"partialrollback/internal/intern"
 	"partialrollback/internal/sdg"
 	"partialrollback/internal/txn"
 )
 
-// Checkpoint is a full restoration point for one lock state.
+// EntityCopy is one checkpointed entity local copy, keyed by the
+// entity's interned ID.
+type EntityCopy struct {
+	Ent intern.ID
+	Val int64
+}
+
+// Checkpoint is a full restoration point for one lock state. It stores
+// the engine's slot/ID representation directly — locals by slot index,
+// entity copies by intern ID — so taking and restoring a checkpoint
+// never touches entity or local names.
 type Checkpoint struct {
-	// Locals holds every local variable's value at the state.
-	Locals map[string]int64
+	// Locals holds every local variable's value at the state, indexed
+	// by the program's local slot.
+	Locals []int64
 	// Copies holds the local copy of every exclusively held entity at
 	// the state.
-	Copies map[string]int64
+	Copies []EntityCopy
 }
 
 // size returns the number of stored values (the "extra copies" the
@@ -177,14 +189,11 @@ func (s *State) Planned(q int) bool { return s.planned[q] }
 
 // TakeCheckpoint stores the snapshot for lock state q (called by the
 // engine as the transaction passes through a planned state). Values are
-// copied.
-func (s *State) TakeCheckpoint(q int, locals, copies map[string]int64) {
-	cp := Checkpoint{Locals: map[string]int64{}, Copies: map[string]int64{}}
-	for k, v := range locals {
-		cp.Locals[k] = v
-	}
-	for k, v := range copies {
-		cp.Copies[k] = v
+// copied; the caller's slices are not retained.
+func (s *State) TakeCheckpoint(q int, locals []int64, copies []EntityCopy) {
+	cp := Checkpoint{
+		Locals: append([]int64(nil), locals...),
+		Copies: append([]EntityCopy(nil), copies...),
 	}
 	s.checkpoints[q] = cp
 	total := 0

@@ -86,11 +86,11 @@ func TestStateCheckpointLifecycle(t *testing.T) {
 	}
 	// Pretend the engine checkpoints state 2 and 3 when passing them.
 	g.OnLock() // 2
-	st.TakeCheckpoint(2, map[string]int64{"x": 5}, map[string]int64{"a": 1, "b": 7})
+	st.TakeCheckpoint(2, []int64{5}, []EntityCopy{{Ent: 0, Val: 1}, {Ent: 1, Val: 7}})
 	g.OnLock() // 3
 	g.OnWrite("a")
 	g.OnWrite("b")
-	st.TakeCheckpoint(3, map[string]int64{"x": 6}, map[string]int64{"a": 2, "b": 1})
+	st.TakeCheckpoint(3, []int64{6}, []EntityCopy{{Ent: 0, Val: 2}, {Ent: 1, Val: 1}})
 	g.OnLock() // 4
 	g.OnLock() // 5
 	g.OnWrite("b")
@@ -131,7 +131,7 @@ func TestStateCheckpointLifecycle(t *testing.T) {
 		t.Error("state 4 no longer exists")
 	}
 	cp, ok := st.Checkpoint(3)
-	if !ok || cp.Locals["x"] != 6 || cp.Copies["a"] != 2 {
+	if !ok || cp.Locals[0] != 6 || cp.Copies[0].Val != 2 {
 		t.Errorf("checkpoint 3 = %+v %v", cp, ok)
 	}
 	if st.CheckpointCount() != 2 {
@@ -149,14 +149,14 @@ func TestStateCheckpointLifecycle(t *testing.T) {
 func TestCheckpointIsolation(t *testing.T) {
 	a := txn.Analyze(scatteredProg())
 	st := New(a, 1, nil)
-	locals := map[string]int64{"x": 1}
-	copies := map[string]int64{"a": 2}
+	locals := []int64{1}
+	copies := []EntityCopy{{Ent: 0, Val: 2}}
 	st.TakeCheckpoint(1, locals, copies)
-	locals["x"] = 99
-	copies["a"] = 99
+	locals[0] = 99
+	copies[0].Val = 99
 	cp, _ := st.Checkpoint(1)
-	if cp.Locals["x"] != 1 || cp.Copies["a"] != 2 {
-		t.Error("checkpoint aliases caller maps")
+	if cp.Locals[0] != 1 || cp.Copies[0].Val != 2 {
+		t.Error("checkpoint aliases caller slices")
 	}
 }
 
@@ -205,7 +205,7 @@ func TestQuickTargetOrdering(t *testing.T) {
 			switch op.Kind {
 			case txn.OpLockX:
 				if st.Planned(li) {
-					st.TakeCheckpoint(li, map[string]int64{"l": 0}, map[string]int64{})
+					st.TakeCheckpoint(li, []int64{0}, nil)
 				}
 				g.OnLock()
 				li++

@@ -1,0 +1,88 @@
+// Package intern maps entity names to dense uint32 IDs so the hot
+// paths of the lock table, the concurrency graph and the rollback
+// bookkeeping can index slices and compare integers instead of hashing
+// strings. Interning happens once, at entity registration
+// (entity.Store.Define and the store constructors); everything below
+// the facade/wire/observability boundary speaks IDs, and names are
+// resolved back only at those edges (see DESIGN.md, "Entity interning
+// and the name/ID boundary").
+//
+// IDs are assigned in interning order starting at 0 and are never
+// reused, so a Table with n names has exactly the IDs 0..n-1 — dense by
+// construction, which is what makes slice indexing safe.
+package intern
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense interned entity identifier.
+type ID uint32
+
+// None is the sentinel for "no entity". It is not a valid ID.
+const None ID = ^ID(0)
+
+// Table interns strings to dense IDs. It is safe for concurrent use:
+// interning takes a write lock, lookups a read lock. The zero value is
+// not usable; call NewTable.
+type Table struct {
+	mu    sync.RWMutex
+	ids   map[string]ID
+	names []string
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	return &Table{ids: map[string]ID{}}
+}
+
+// Intern returns the ID for name, assigning the next dense ID if name
+// has not been seen before.
+func (t *Table) Intern(name string) ID {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id = ID(len(t.names))
+	if id == None {
+		panic("intern: table full")
+	}
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// Lookup returns the ID for name, if interned.
+func (t *Table) Lookup(name string) (ID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Name returns the string for id. It panics on IDs the table never
+// issued (a programming error: IDs only come from Intern).
+func (t *Table) Name(id ID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) >= len(t.names) {
+		panic(fmt.Sprintf("intern: unknown ID %d (table has %d names)", id, len(t.names)))
+	}
+	return t.names[id]
+}
+
+// Len returns the number of interned names (and so the exclusive upper
+// bound of issued IDs).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}

@@ -1,0 +1,94 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternDenseAndStable(t *testing.T) {
+	tab := NewTable()
+	if got := tab.Len(); got != 0 {
+		t.Fatalf("empty table Len = %d, want 0", got)
+	}
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	c := tab.Intern("gamma")
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("IDs not dense in interning order: got %d,%d,%d", a, b, c)
+	}
+	if again := tab.Intern("beta"); again != b {
+		t.Fatalf("re-interning beta gave %d, want %d", again, b)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tab.Len())
+	}
+	for id, want := range map[ID]string{a: "alpha", b: "beta", c: "gamma"} {
+		if got := tab.Name(id); got != want {
+			t.Errorf("Name(%d) = %q, want %q", id, got, want)
+		}
+	}
+	if id, ok := tab.Lookup("gamma"); !ok || id != c {
+		t.Fatalf("Lookup(gamma) = %d,%v, want %d,true", id, ok, c)
+	}
+	if _, ok := tab.Lookup("delta"); ok {
+		t.Fatal("Lookup(delta) succeeded for an uninterned name")
+	}
+}
+
+func TestInternUnknownIDPanics(t *testing.T) {
+	tab := NewTable()
+	tab.Intern("only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on an unissued ID did not panic")
+		}
+	}()
+	tab.Name(5)
+}
+
+func TestInternConcurrent(t *testing.T) {
+	tab := NewTable()
+	const workers = 8
+	const names = 100
+	var wg sync.WaitGroup
+	got := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]ID, names)
+			for i := 0; i < names; i++ {
+				ids[i] = tab.Intern(fmt.Sprintf("e%d", i))
+			}
+			got[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != names {
+		t.Fatalf("Len = %d, want %d", tab.Len(), names)
+	}
+	for w := 1; w < workers; w++ {
+		for i := range got[0] {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d saw ID %d for e%d, worker 0 saw %d", w, got[w][i], i, got[0][i])
+			}
+		}
+	}
+	// Every ID round-trips through Name back to its source string.
+	for i, id := range got[0] {
+		if want := fmt.Sprintf("e%d", i); tab.Name(id) != want {
+			t.Fatalf("Name(%d) = %q, want %q", id, tab.Name(id), want)
+		}
+	}
+}
+
+func TestNameIsAllocationFree(t *testing.T) {
+	tab := NewTable()
+	id := tab.Intern("hot")
+	if n := testing.AllocsPerRun(100, func() {
+		_ = tab.Name(id)
+	}); n != 0 {
+		t.Fatalf("Name allocates %v per run, want 0", n)
+	}
+}

@@ -11,6 +11,14 @@
 // Deadlock detection and rollback (response 3) live above this package,
 // in internal/deadlock and internal/core.
 //
+// Entities are identified by dense intern.IDs internally: the entry
+// table is a slice indexed by ID, holder sets are small slices with a
+// cached exclusive count, and per-transaction held lists are pooled.
+// The ...ID methods (AcquireID, ReleaseID, ...) are the allocation-free
+// hot path used by internal/core; the string-keyed methods are
+// boundary wrappers that intern/resolve names and keep the original
+// public behavior for callers that still speak names (msgsim, tests).
+//
 // The table is not safe for concurrent use; the owning System
 // serializes access.
 package lock
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"partialrollback/internal/intern"
 	"partialrollback/internal/txn"
 )
 
@@ -52,43 +61,94 @@ type Grant struct {
 	Mode   Mode
 }
 
+// GrantID is a Grant on the interned hot path: the entity travels as
+// its dense ID and is resolved to a name only at the boundary.
+type GrantID struct {
+	Txn  txn.ID
+	Ent  intern.ID
+	Mode Mode
+}
+
 // Waiter is one queued request.
 type Waiter struct {
 	Txn  txn.ID
 	Mode Mode
 }
 
+type holderRec struct {
+	txn  txn.ID
+	mode Mode
+}
+
 type entry struct {
-	holders map[txn.ID]Mode
+	holders []holderRec
+	numX    int // exclusive holders in holders (0 or 1)
 	queue   []Waiter
+	touched bool // some Acquire has referenced this entity
+}
+
+type heldRec struct {
+	ent  intern.ID
+	mode Mode
+}
+
+// heldList is one transaction's held-lock index; the backing slices are
+// pooled so a full grant/release cycle allocates nothing in steady
+// state.
+type heldList struct {
+	recs []heldRec
 }
 
 // Table is the lock table.
 type Table struct {
-	entries map[string]*entry
+	names *intern.Table
+	// entries is indexed by intern.ID; it grows monotonically to the
+	// largest ID ever acquired through this table.
+	entries []entry
 	// held indexes the entities each transaction holds.
-	held map[txn.ID]map[string]Mode
+	held map[txn.ID]*heldList
 	// waiting maps each waiting transaction to the entity it waits on.
 	// A transaction waits on at most one entity at a time.
-	waiting map[txn.ID]string
+	waiting  map[txn.ID]intern.ID
+	heldPool []*heldList
 }
 
-// NewTable returns an empty lock table.
+// NewTable returns an empty lock table with a private interner. Names
+// are interned on first Acquire.
 func NewTable() *Table {
+	return NewTableInterned(intern.NewTable())
+}
+
+// NewTableInterned returns an empty lock table sharing names — normally
+// the entity store's interner, so lock-table IDs and store IDs agree.
+func NewTableInterned(names *intern.Table) *Table {
 	return &Table{
-		entries: map[string]*entry{},
-		held:    map[txn.ID]map[string]Mode{},
-		waiting: map[txn.ID]string{},
+		names:   names,
+		held:    map[txn.ID]*heldList{},
+		waiting: map[txn.ID]intern.ID{},
 	}
 }
 
-func (t *Table) entryFor(name string) *entry {
-	e := t.entries[name]
-	if e == nil {
-		e = &entry{holders: map[txn.ID]Mode{}}
-		t.entries[name] = e
+// Names exposes the table's interner (shared with the store when built
+// via NewTableInterned).
+func (t *Table) Names() *intern.Table { return t.names }
+
+func (t *Table) entryFor(ent intern.ID) *entry {
+	for int(ent) >= len(t.entries) {
+		t.entries = append(t.entries, entry{})
 	}
+	e := &t.entries[ent]
+	e.touched = true
 	return e
+}
+
+func (t *Table) newHeldList() *heldList {
+	if n := len(t.heldPool); n > 0 {
+		hl := t.heldPool[n-1]
+		t.heldPool = t.heldPool[:n-1]
+		return hl
+	}
+	return &heldList{}
 }
 
 // Acquire requests a lock. If grantable it is granted immediately and
@@ -100,71 +160,119 @@ func (t *Table) entryFor(name string) *entry {
 // Re-requesting an entity already held, or requesting while already
 // waiting, is a programming error and returns a non-nil error.
 func (t *Table) Acquire(id txn.ID, name string, m Mode) (granted bool, blockers []txn.ID, err error) {
-	if ent, isWaiting := t.waiting[id]; isWaiting {
-		return false, nil, fmt.Errorf("lock: %v requested %q while waiting on %q", id, name, ent)
-	}
-	if _, holds := t.held[id][name]; holds {
-		return false, nil, fmt.Errorf("lock: %v re-requested held entity %q", id, name)
-	}
-	e := t.entryFor(name)
-	if t.grantable(e, m) {
-		t.grant(id, name, m)
-		return true, nil, nil
-	}
-	e.queue = append(e.queue, Waiter{Txn: id, Mode: m})
-	t.waiting[id] = name
-	for h := range e.holders {
-		if h != id {
-			blockers = append(blockers, h)
-		}
-	}
-	sortIDs(blockers)
-	return false, blockers, nil
+	return t.AcquireID(id, t.names.Intern(name), m, nil)
 }
 
-func (t *Table) grantable(e *entry, m Mode) bool {
+// AcquireID is Acquire by intern ID. Blockers are appended to buf (the
+// appended region arrives sorted ascending), so a caller that reuses
+// its buffer pays no allocation.
+func (t *Table) AcquireID(id txn.ID, ent intern.ID, m Mode, buf []txn.ID) (granted bool, blockers []txn.ID, err error) {
+	if went, isWaiting := t.waiting[id]; isWaiting {
+		return false, buf, fmt.Errorf("lock: %v requested %q while waiting on %q", id, t.names.Name(ent), t.names.Name(went))
+	}
+	if _, holds := t.ModeOfID(id, ent); holds {
+		return false, buf, fmt.Errorf("lock: %v re-requested held entity %q", id, t.names.Name(ent))
+	}
+	e := t.entryFor(ent)
+	if grantable(e, m) {
+		t.grantTo(e, id, ent, m)
+		return true, buf, nil
+	}
+	e.queue = append(e.queue, Waiter{Txn: id, Mode: m})
+	t.waiting[id] = ent
+	start := len(buf)
+	for i := range e.holders {
+		if e.holders[i].txn != id {
+			buf = append(buf, e.holders[i].txn)
+		}
+	}
+	sortIDs(buf[start:])
+	return false, buf, nil
+}
+
+func grantable(e *entry, m Mode) bool {
 	if len(e.holders) == 0 {
 		return true
 	}
 	if m == Exclusive {
 		return false
 	}
-	for _, hm := range e.holders {
-		if hm == Exclusive {
-			return false
-		}
-	}
-	return true
+	return e.numX == 0
 }
 
-func (t *Table) grant(id txn.ID, name string, m Mode) {
-	e := t.entryFor(name)
-	e.holders[id] = m
-	if t.held[id] == nil {
-		t.held[id] = map[string]Mode{}
+func (t *Table) grantTo(e *entry, id txn.ID, ent intern.ID, m Mode) {
+	e.holders = append(e.holders, holderRec{txn: id, mode: m})
+	if m == Exclusive {
+		e.numX++
 	}
-	t.held[id][name] = m
+	hl := t.held[id]
+	if hl == nil {
+		hl = t.newHeldList()
+		t.held[id] = hl
+	}
+	hl.recs = append(hl.recs, heldRec{ent: ent, mode: m})
 }
 
 // Release drops id's lock on name and promotes queued waiters FIFO:
 // consecutive grantable requests at the head of the queue are granted
 // and returned. Releasing an entity not held returns an error.
 func (t *Table) Release(id txn.ID, name string) ([]Grant, error) {
-	e := t.entries[name]
-	if e == nil {
+	ent, ok := t.names.Lookup(name)
+	if !ok {
 		return nil, fmt.Errorf("lock: release of unknown entity %q", name)
 	}
-	if _, ok := e.holders[id]; !ok {
-		return nil, fmt.Errorf("lock: %v released %q it does not hold", id, name)
-	}
-	delete(e.holders, id)
-	delete(t.held[id], name)
-	return t.promote(name), nil
+	gids, err := t.ReleaseID(id, ent, nil)
+	return t.grantsFromIDs(gids), err
 }
 
-// promote grants queued requests in *age* order (ascending transaction
-// ID; the engine assigns IDs in entry order), repeatedly granting the
-// oldest grantable waiter until none remains. Two properties matter:
+// ReleaseID is Release by intern ID, appending promoted grants to
+// grants and returning the extended slice.
+func (t *Table) ReleaseID(id txn.ID, ent intern.ID, grants []GrantID) ([]GrantID, error) {
+	if int(ent) >= len(t.entries) || !t.entries[ent].touched {
+		return grants, fmt.Errorf("lock: release of unknown entity %q", t.names.Name(ent))
+	}
+	e := &t.entries[ent]
+	found := false
+	for i := range e.holders {
+		if e.holders[i].txn == id {
+			if e.holders[i].mode == Exclusive {
+				e.numX--
+			}
+			e.holders[i] = e.holders[len(e.holders)-1]
+			e.holders = e.holders[:len(e.holders)-1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return grants, fmt.Errorf("lock: %v released %q it does not hold", id, t.names.Name(ent))
+	}
+	t.dropHeldRec(id, ent)
+	return t.promoteInto(ent, grants), nil
+}
+
+func (t *Table) dropHeldRec(id txn.ID, ent intern.ID) {
+	hl := t.held[id]
+	if hl == nil {
+		return
+	}
+	for i := range hl.recs {
+		if hl.recs[i].ent == ent {
+			hl.recs[i] = hl.recs[len(hl.recs)-1]
+			hl.recs = hl.recs[:len(hl.recs)-1]
+			break
+		}
+	}
+	if len(hl.recs) == 0 {
+		delete(t.held, id)
+		t.heldPool = append(t.heldPool, hl)
+	}
+}
+
+// promoteInto grants queued requests in *age* order (ascending
+// transaction ID; the engine assigns IDs in entry order), repeatedly
+// granting the oldest grantable waiter until none remains, appending
+// each grant to grants. Two properties matter:
 //
 //   - every waiter left queued conflicts with at least one *current
 //     holder*, so the wait-for graph always has an arc for every waiter
@@ -175,19 +283,18 @@ func (t *Table) Release(id txn.ID, name string) ([]Grant, error) {
 //     argument: the oldest transaction's progress is monotone, so
 //     preemption rings cannot run forever (a failure mode the
 //     randomized soak test exhibited under plain FIFO promotion).
-func (t *Table) promote(name string) []Grant {
-	e := t.entries[name]
-	if e == nil {
-		return nil
+func (t *Table) promoteInto(ent intern.ID, grants []GrantID) []GrantID {
+	if int(ent) >= len(t.entries) {
+		return grants
 	}
-	var grants []Grant
+	e := &t.entries[ent]
 	for {
 		best := -1
-		for i, w := range e.queue {
-			if !t.grantable(e, w.Mode) {
+		for i := range e.queue {
+			if !grantable(e, e.queue[i].Mode) {
 				continue
 			}
-			if best == -1 || w.Txn < e.queue[best].Txn {
+			if best == -1 || e.queue[i].Txn < e.queue[best].Txn {
 				best = i
 			}
 		}
@@ -195,10 +302,11 @@ func (t *Table) promote(name string) []Grant {
 			return grants
 		}
 		w := e.queue[best]
-		e.queue = append(e.queue[:best], e.queue[best+1:]...)
+		copy(e.queue[best:], e.queue[best+1:])
+		e.queue = e.queue[:len(e.queue)-1]
 		delete(t.waiting, w.Txn)
-		t.grant(w.Txn, name, w.Mode)
-		grants = append(grants, Grant{Txn: w.Txn, Entity: name, Mode: w.Mode})
+		t.grantTo(e, w.Txn, ent, w.Mode)
+		grants = append(grants, GrantID{Txn: w.Txn, Ent: ent, Mode: w.Mode})
 	}
 }
 
@@ -207,139 +315,254 @@ func (t *Table) promote(name string) []Grant {
 // promoted as a result (a retracted head request can unblock others),
 // and reports whether id was actually waiting on name.
 func (t *Table) RemoveWaiter(id txn.ID, name string) ([]Grant, bool) {
-	e := t.entries[name]
-	if e == nil {
+	ent, ok := t.names.Lookup(name)
+	if !ok {
 		return nil, false
 	}
-	for i, w := range e.queue {
-		if w.Txn == id {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	gids, removed := t.RemoveWaiterID(id, ent, nil)
+	return t.grantsFromIDs(gids), removed
+}
+
+// RemoveWaiterID is RemoveWaiter by intern ID, appending promoted
+// grants to grants.
+func (t *Table) RemoveWaiterID(id txn.ID, ent intern.ID, grants []GrantID) ([]GrantID, bool) {
+	if int(ent) >= len(t.entries) {
+		return grants, false
+	}
+	e := &t.entries[ent]
+	for i := range e.queue {
+		if e.queue[i].Txn == id {
+			copy(e.queue[i:], e.queue[i+1:])
+			e.queue = e.queue[:len(e.queue)-1]
 			delete(t.waiting, id)
-			return t.promote(name), true
+			return t.promoteInto(ent, grants), true
 		}
 	}
-	return nil, false
+	return grants, false
 }
 
 // ReleaseAll drops every lock id holds and retracts its queued request
-// if any, returning all resulting grants. Used by commit and by total
-// restart.
+// if any, returning all resulting grants. Entities are released in
+// sorted-name order (deterministic event streams). Used by commit and
+// by total restart.
 func (t *Table) ReleaseAll(id txn.ID) []Grant {
-	var grants []Grant
+	var gids []GrantID
 	if ent, ok := t.waiting[id]; ok {
-		g, _ := t.RemoveWaiter(id, ent)
-		grants = append(grants, g...)
+		gids, _ = t.RemoveWaiterID(id, ent, gids)
 	}
-	names := make([]string, 0, len(t.held[id]))
-	for name := range t.held[id] {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		g, err := t.Release(id, name)
-		if err == nil {
-			grants = append(grants, g...)
+	if hl := t.held[id]; hl != nil {
+		names := make([]string, 0, len(hl.recs))
+		for _, r := range hl.recs {
+			names = append(names, t.names.Name(r.ent))
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ent, _ := t.names.Lookup(name)
+			gids, _ = t.ReleaseID(id, ent, gids)
 		}
 	}
-	delete(t.held, id)
-	return grants
+	return t.grantsFromIDs(gids)
+}
+
+func (t *Table) grantsFromIDs(gids []GrantID) []Grant {
+	if len(gids) == 0 {
+		return nil
+	}
+	out := make([]Grant, len(gids))
+	for i, g := range gids {
+		out[i] = Grant{Txn: g.Txn, Entity: t.names.Name(g.Ent), Mode: g.Mode}
+	}
+	return out
 }
 
 // Holders returns the transactions holding name, sorted.
 func (t *Table) Holders(name string) []txn.ID {
-	e := t.entries[name]
-	if e == nil {
+	ent, ok := t.names.Lookup(name)
+	if !ok {
 		return nil
 	}
-	out := make([]txn.ID, 0, len(e.holders))
-	for id := range e.holders {
-		out = append(out, id)
+	out := t.HoldersAppend(ent, nil)
+	if len(out) == 0 {
+		return nil
 	}
-	sortIDs(out)
 	return out
+}
+
+// HoldersAppend appends the transactions holding ent to buf, sorted
+// ascending (within the appended region), and returns the extended
+// slice.
+func (t *Table) HoldersAppend(ent intern.ID, buf []txn.ID) []txn.ID {
+	if int(ent) >= len(t.entries) {
+		return buf
+	}
+	e := &t.entries[ent]
+	start := len(buf)
+	for i := range e.holders {
+		buf = append(buf, e.holders[i].txn)
+	}
+	sortIDs(buf[start:])
+	return buf
 }
 
 // ModeOf returns the mode id holds on name, if any.
 func (t *Table) ModeOf(id txn.ID, name string) (Mode, bool) {
-	m, ok := t.held[id][name]
-	return m, ok
+	ent, ok := t.names.Lookup(name)
+	if !ok {
+		return Shared, false
+	}
+	return t.ModeOfID(id, ent)
+}
+
+// ModeOfID is ModeOf by intern ID.
+func (t *Table) ModeOfID(id txn.ID, ent intern.ID) (Mode, bool) {
+	hl := t.held[id]
+	if hl == nil {
+		return Shared, false
+	}
+	for i := range hl.recs {
+		if hl.recs[i].ent == ent {
+			return hl.recs[i].mode, true
+		}
+	}
+	return Shared, false
 }
 
 // HeldBy returns the entities id holds, sorted.
 func (t *Table) HeldBy(id txn.ID) []string {
-	out := make([]string, 0, len(t.held[id]))
-	for name := range t.held[id] {
-		out = append(out, name)
+	hl := t.held[id]
+	if hl == nil {
+		return nil
+	}
+	out := make([]string, 0, len(hl.recs))
+	for _, r := range hl.recs {
+		out = append(out, t.names.Name(r.ent))
 	}
 	sort.Strings(out)
 	return out
 }
 
+// HeldCount returns how many entities id holds.
+func (t *Table) HeldCount(id txn.ID) int {
+	hl := t.held[id]
+	if hl == nil {
+		return 0
+	}
+	return len(hl.recs)
+}
+
 // WaitingOn returns the entity id is queued for, if any.
 func (t *Table) WaitingOn(id txn.ID) (string, bool) {
-	name, ok := t.waiting[id]
-	return name, ok
+	ent, ok := t.waiting[id]
+	if !ok {
+		return "", false
+	}
+	return t.names.Name(ent), true
+}
+
+// WaitingOnID is WaitingOn by intern ID.
+func (t *Table) WaitingOnID(id txn.ID) (intern.ID, bool) {
+	ent, ok := t.waiting[id]
+	return ent, ok
+}
+
+// HasWaiters reports whether any request is queued on ent — the O(1)
+// fast exit for waiter refresh after a grant.
+func (t *Table) HasWaiters(ent intern.ID) bool {
+	return int(ent) < len(t.entries) && len(t.entries[ent].queue) > 0
 }
 
 // Queue returns the waiters queued on name, in order.
 func (t *Table) Queue(name string) []Waiter {
-	e := t.entries[name]
-	if e == nil {
+	ent, ok := t.names.Lookup(name)
+	if !ok {
 		return nil
 	}
-	return append([]Waiter(nil), e.queue...)
+	if int(ent) >= len(t.entries) || len(t.entries[ent].queue) == 0 {
+		return nil
+	}
+	return append([]Waiter(nil), t.entries[ent].queue...)
+}
+
+// QueueAppend appends the waiters queued on ent, in order, to buf and
+// returns the extended slice.
+func (t *Table) QueueAppend(ent intern.ID, buf []Waiter) []Waiter {
+	if int(ent) >= len(t.entries) {
+		return buf
+	}
+	return append(buf, t.entries[ent].queue...)
 }
 
 // CheckInvariants validates internal consistency (used by tests):
 // holder sets respect compatibility, indexes agree with entries, and
 // every waiter's queued request is recorded in waiting.
 func (t *Table) CheckInvariants() error {
-	for name, e := range t.entries {
+	for i := range t.entries {
+		e := &t.entries[i]
+		name := t.names.Name(intern.ID(i))
 		x := 0
-		for _, m := range e.holders {
-			if m == Exclusive {
+		for _, h := range e.holders {
+			if h.mode == Exclusive {
 				x++
 			}
+		}
+		if x != e.numX {
+			return fmt.Errorf("lock: entity %q exclusive count %d != cached %d", name, x, e.numX)
 		}
 		if x > 1 || (x == 1 && len(e.holders) > 1) {
 			return fmt.Errorf("lock: entity %q held incompatibly (%d holders, %d exclusive)", name, len(e.holders), x)
 		}
-		for id, m := range e.holders {
-			if got, ok := t.held[id][name]; !ok || got != m {
-				return fmt.Errorf("lock: held index out of sync for %v on %q", id, name)
+		for _, h := range e.holders {
+			if got, ok := t.ModeOfID(h.txn, intern.ID(i)); !ok || got != h.mode {
+				return fmt.Errorf("lock: held index out of sync for %v on %q", h.txn, name)
 			}
 		}
 		for _, w := range e.queue {
-			if got, ok := t.waiting[w.Txn]; !ok || got != name {
+			if got, ok := t.waiting[w.Txn]; !ok || got != intern.ID(i) {
 				return fmt.Errorf("lock: waiting index out of sync for %v on %q", w.Txn, name)
 			}
-			if t.grantable(e, w.Mode) {
+			if grantable(e, w.Mode) {
 				return fmt.Errorf("lock: waiter %v on %q is grantable but still queued", w.Txn, name)
 			}
 		}
 	}
-	for id, names := range t.held {
-		for name, m := range names {
-			e := t.entries[name]
-			if e == nil || e.holders[id] != m {
-				return fmt.Errorf("lock: reverse held index stale for %v on %q", id, name)
+	for id, hl := range t.held {
+		if len(hl.recs) == 0 {
+			return fmt.Errorf("lock: empty held list retained for %v", id)
+		}
+		for _, r := range hl.recs {
+			e := &t.entries[r.ent]
+			found := false
+			for _, h := range e.holders {
+				if h.txn == id && h.mode == r.mode {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("lock: reverse held index stale for %v on %q", id, t.names.Name(r.ent))
 			}
 		}
 	}
-	for id, name := range t.waiting {
+	for id, ent := range t.waiting {
 		found := false
-		for _, w := range t.entries[name].queue {
+		for _, w := range t.entries[ent].queue {
 			if w.Txn == id {
 				found = true
 			}
 		}
 		if !found {
-			return fmt.Errorf("lock: %v marked waiting on %q but not queued", id, name)
+			return fmt.Errorf("lock: %v marked waiting on %q but not queued", id, t.names.Name(ent))
 		}
 	}
 	return nil
 }
 
+// sortIDs sorts ascending in place. Insertion sort: the slices here are
+// blocker/holder lists of a single entity (a handful of elements), and
+// unlike sort.Slice this compiles without a closure allocation.
 func sortIDs(ids []txn.ID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"partialrollback/internal/intern"
 )
 
 func TestBasicStackLifecycle(t *testing.T) {
@@ -38,10 +40,7 @@ func TestBasicStackLifecycle(t *testing.T) {
 	}
 	// Rollback to lock state 1: b's stack dropped (index 1 >= 1), a's
 	// write at lock index 2 popped; writes at lock index 1 survive.
-	dropped := c.Rollback(1)
-	if len(dropped) != 1 || dropped[0] != "b" {
-		t.Errorf("dropped = %v", dropped)
-	}
+	c.Rollback(1)
 	if v, _ := c.EntityValue("a"); v != 102 {
 		t.Errorf("a = %d, want 102 (last write at lock index 1)", v)
 	}
@@ -49,9 +48,9 @@ func TestBasicStackLifecycle(t *testing.T) {
 		t.Error("b should be gone")
 	}
 	// Rollback to 0: a dropped too.
-	dropped = c.Rollback(0)
-	if len(dropped) != 1 || dropped[0] != "a" {
-		t.Errorf("dropped = %v", dropped)
+	c.Rollback(0)
+	if _, ok := c.EntityValue("a"); ok {
+		t.Error("a should be gone after rollback to 0")
 	}
 	if v, _ := c.LocalValue("l"); v != 7 {
 		t.Error("local must return to initial")
@@ -284,5 +283,66 @@ func TestMultipleRollbacks(t *testing.T) {
 	}
 	if _, ok := c.EntityValue("c"); ok {
 		t.Error("c must be dropped")
+	}
+}
+
+func TestSlotAPIAndIncrementalPeaks(t *testing.T) {
+	names := intern.NewTable()
+	c := NewSlots(names, []string{"x", "y"}, []int64{5, 6})
+	a := names.Intern("a")
+	c.OnLockID(a, true, 100)
+	if err := c.WriteEntityID(a, 101); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteLocalSlot(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.LocalValueSlot(0); !ok || v != 50 {
+		t.Fatalf("LocalValueSlot(0) = %d,%v, want 50", v, ok)
+	}
+	if v, ok := c.LocalValue("x"); !ok || v != 50 {
+		t.Fatalf("string view LocalValue(x) = %d,%v, want 50", v, ok)
+	}
+	if v, ok := c.EntityValueID(a); !ok || v != 101 {
+		t.Fatalf("EntityValueID = %d,%v, want 101", v, ok)
+	}
+	// Incremental counters must agree with a by-hand count: entity
+	// stack has bottom(100)+write(101)=2; locals x has init+write=2,
+	// y has init=1.
+	e, l := c.SpaceUsed()
+	if e != 2 || l != 3 {
+		t.Fatalf("SpaceUsed = %d,%d, want 2,3", e, l)
+	}
+	pe, pl := c.PeakSpace()
+	if pe != 2 || pl != 3 {
+		t.Fatalf("PeakSpace = %d,%d, want 2,3", pe, pl)
+	}
+	c.Rollback(0)
+	if e, l := c.SpaceUsed(); e != 0 || l != 2 {
+		t.Fatalf("after rollback SpaceUsed = %d,%d, want 0,2", e, l)
+	}
+	if pe, pl := c.PeakSpace(); pe != 2 || pl != 3 {
+		t.Fatalf("peaks moved on rollback: %d,%d", pe, pl)
+	}
+	if got := c.CopyLocalsInto(nil); len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("CopyLocalsInto after rollback = %v, want [5 6]", got)
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	names := intern.NewTable()
+	c := NewSlots(names, []string{"x"}, []int64{0})
+	a := names.Intern("a")
+	if n := testing.AllocsPerRun(200, func() {
+		c.OnLockID(a, true, 1)
+		if err := c.WriteEntityID(a, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteLocalSlot(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		c.Rollback(0)
+	}); n != 0 {
+		t.Fatalf("mcs lock/write/rollback cycle allocates %v per run, want 0", n)
 	}
 }

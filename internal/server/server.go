@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -410,6 +411,11 @@ func (s *Server) Counters() []wire.Counter {
 type session struct {
 	srv  *Server
 	conn net.Conn
+	// br buffers the connection's read side. Clients flush a whole
+	// transaction's message sequence in one write, so buffering turns
+	// the ~2 read syscalls per message into ~2 per transaction; all
+	// reads must go through br (buffered bytes are invisible to conn).
+	br *bufio.Reader
 
 	outMu     sync.Mutex
 	out       chan wire.Msg
@@ -467,7 +473,7 @@ func (s *Server) runSession(conn net.Conn) {
 	s.conns[conn] = true
 	s.mu.Unlock()
 
-	ss := &session{srv: s, conn: conn, out: make(chan wire.Msg, 128)}
+	ss := &session{srv: s, conn: conn, br: bufio.NewReader(conn), out: make(chan wire.Msg, 128)}
 
 	// Writer: the single goroutine that touches the connection's write
 	// side. On write failure it keeps draining so senders never block.
@@ -508,7 +514,7 @@ func (s *Server) runSession(conn net.Conn) {
 			return
 		}
 		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		m, n, err := wire.ReadMsg(conn)
+		m, n, err := wire.ReadMsg(ss.br)
 		s.bytesIn.Add(int64(n))
 		if err != nil {
 			// Idle sessions (between transactions) are closed without
@@ -543,7 +549,7 @@ func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 	asm := wire.NewAssembler(begin)
 	for {
 		_ = ss.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		m, n, err := wire.ReadMsg(ss.conn)
+		m, n, err := wire.ReadMsg(ss.br)
 		s.bytesIn.Add(int64(n))
 		if err != nil {
 			if errors.Is(err, wire.ErrProtocol) {

@@ -35,6 +35,27 @@ type Analysis struct {
 	// WriteLockIndexes maps each written target to the sorted distinct
 	// lock indexes at which it is written.
 	WriteLockIndexes map[string][]int
+
+	// The fields below are the execution plan for the allocation-free
+	// hot path: locals resolved to dense slots at analysis time, so
+	// Step indexes a slice instead of hashing strings. Expressions stay
+	// in tree form — every driver registers a program exactly once, so
+	// value.EvalSlots over the tree beats any per-Register compilation.
+
+	// LocalNames lists the program's local variables in slot order
+	// (sorted by name); LocalSlot is the inverse mapping.
+	LocalNames []string
+	LocalSlot  map[string]int
+	// InitLocals[s] is the declared initial value of slot s.
+	InitLocals []int64
+	// OpLocalSlot[i] is the slot of Ops[i].Local, or -1 when op i has
+	// no local operand.
+	OpLocalSlot []int
+	// OpTarget[i] is the state-dependency-graph write-target key of op
+	// i ("e:<entity>" for entity writes, "l:<local>" for local writes,
+	// "" when op i writes nothing) — precomputed so the hot path does
+	// not concatenate strings per write.
+	OpTarget []string
 }
 
 // Analyze computes the static Analysis for p. The program is assumed
@@ -72,7 +93,40 @@ func Analyze(p *Program) *Analysis {
 	for _, idxs := range a.WriteLockIndexes {
 		sort.Ints(idxs)
 	}
+	a.buildPlan(p)
 	return a
+}
+
+// buildPlan resolves locals to dense slots — the static half of the
+// allocation-free execution path.
+func (a *Analysis) buildPlan(p *Program) {
+	a.LocalNames = make([]string, 0, len(p.Locals))
+	for name := range p.Locals {
+		a.LocalNames = append(a.LocalNames, name)
+	}
+	sort.Strings(a.LocalNames)
+	a.LocalSlot = make(map[string]int, len(a.LocalNames))
+	a.InitLocals = make([]int64, len(a.LocalNames))
+	for s, name := range a.LocalNames {
+		a.LocalSlot[name] = s
+		a.InitLocals[s] = p.Locals[name]
+	}
+	a.OpLocalSlot = make([]int, len(p.Ops))
+	a.OpTarget = make([]string, len(p.Ops))
+	for i, o := range p.Ops {
+		a.OpLocalSlot[i] = -1
+		if o.Local != "" {
+			if s, ok := a.LocalSlot[o.Local]; ok {
+				a.OpLocalSlot[i] = s
+			}
+		}
+		switch o.Kind {
+		case OpWrite:
+			a.OpTarget[i] = "e:" + o.Entity
+		case OpRead, OpCompute:
+			a.OpTarget[i] = "l:" + o.Local
+		}
+	}
 }
 
 func (a *Analysis) noteWrite(target string, li int) {

@@ -352,3 +352,50 @@ func TestStrings(t *testing.T) {
 		t.Error("kind helpers")
 	}
 }
+
+func TestAnalysisExecutionPlan(t *testing.T) {
+	p := NewProgram("plan").
+		Local("b", 2).
+		Local("a", 1).
+		LockX("e1").
+		Read("e1", "a").
+		Compute("b", value.Add(value.L("a"), value.C(3))).
+		Write("e1", value.L("b")).
+		MustBuild()
+	a := Analyze(p)
+	if len(a.LocalNames) != 2 || a.LocalNames[0] != "a" || a.LocalNames[1] != "b" {
+		t.Fatalf("LocalNames = %v, want [a b] (slot order sorted by name)", a.LocalNames)
+	}
+	if a.InitLocals[a.LocalSlot["a"]] != 1 || a.InitLocals[a.LocalSlot["b"]] != 2 {
+		t.Fatalf("InitLocals = %v out of sync with slots %v", a.InitLocals, a.LocalSlot)
+	}
+	for i, o := range p.Ops {
+		switch o.Kind {
+		case OpRead, OpCompute:
+			if a.OpLocalSlot[i] != a.LocalSlot[o.Local] {
+				t.Errorf("op %d (%s): OpLocalSlot = %d, want %d", i, o, a.OpLocalSlot[i], a.LocalSlot[o.Local])
+			}
+			if want := "l:" + o.Local; a.OpTarget[i] != want {
+				t.Errorf("op %d (%s): OpTarget = %q, want %q", i, o, a.OpTarget[i], want)
+			}
+		case OpWrite:
+			if want := "e:" + o.Entity; a.OpTarget[i] != want {
+				t.Errorf("op %d (%s): OpTarget = %q, want %q", i, o, a.OpTarget[i], want)
+			}
+		default:
+			if a.OpTarget[i] != "" {
+				t.Errorf("op %d (%s): OpTarget = %q, want empty", i, o, a.OpTarget[i])
+			}
+		}
+	}
+	// Slot evaluation over the plan computes what the tree walker does.
+	locals := []int64{10, 0} // a=10, b=0
+	for _, o := range p.Ops {
+		if o.Kind == OpCompute {
+			v, err := value.EvalSlots(o.Expr, a.LocalSlot, locals)
+			if err != nil || v != 13 {
+				t.Fatalf("slot compute = %d, %v; want 13", v, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package value
+
+import (
+	"errors"
+	"testing"
+)
+
+// slotView builds a slot mapping plus the matching slice of values from
+// a map of locals, so tests can diff slot evaluation against the
+// tree-walking Env evaluation of the same expression.
+func slotView(locals map[string]int64) (map[string]int, []int64) {
+	slots := map[string]int{}
+	vals := make([]int64, 0, len(locals))
+	for n, v := range locals {
+		slots[n] = len(vals)
+		vals = append(vals, v)
+	}
+	return slots, vals
+}
+
+func TestEvalSlotsMatchesEval(t *testing.T) {
+	locals := map[string]int64{"x": 7, "y": -3, "z": 2}
+	slots, vals := slotView(locals)
+	exprs := []Expr{
+		C(42),
+		L("x"),
+		Add(L("x"), C(1)),
+		Sub(L("x"), L("y")),
+		Mul(Add(L("x"), L("y")), L("z")),
+		Div(L("x"), L("z")),
+		Mod(L("x"), L("z")),
+		Min(L("x"), L("y")),
+		Max(L("x"), Mul(L("y"), C(-5))),
+		Add(Mul(L("x"), L("x")), Div(Sub(L("y"), C(1)), L("z"))),
+	}
+	for _, e := range exprs {
+		want, werr := e.Eval(MapEnv(locals))
+		got, gerr := EvalSlots(e, slots, vals)
+		if want != got || (werr == nil) != (gerr == nil) {
+			t.Errorf("%s: slots = %d,%v; eval = %d,%v", e, got, gerr, want, werr)
+		}
+	}
+}
+
+func TestEvalSlotsErrorSemantics(t *testing.T) {
+	slots, vals := slotView(map[string]int64{"x": 1})
+	// Unknown local errors identically to the tree walker, and the
+	// *left* failure wins when both sides would fail.
+	for _, e := range []Expr{
+		L("ghost"),
+		Add(L("ghost"), L("x")),
+		Add(L("x"), L("ghost")),
+		Add(L("ghost"), Div(L("x"), C(0))),
+	} {
+		want, werr := e.Eval(MapEnv{"x": 1})
+		got, gerr := EvalSlots(e, slots, vals)
+		if werr == nil || gerr == nil {
+			t.Fatalf("%s: expected both to fail (eval err %v, slots err %v)", e, werr, gerr)
+		}
+		if werr.Error() != gerr.Error() {
+			t.Errorf("%s: slots error %q != eval error %q", e, gerr, werr)
+		}
+		if !errors.Is(gerr, ErrUnknownLocal) {
+			t.Errorf("%s: slots error %v does not wrap ErrUnknownLocal", e, gerr)
+		}
+		if got != want {
+			t.Errorf("%s: values differ on error: %d vs %d", e, got, want)
+		}
+	}
+	// Division and modulo by zero return the sentinel unwrapped.
+	for _, e := range []Expr{Div(L("x"), C(0)), Mod(C(5), Sub(L("x"), C(1)))} {
+		if _, err := EvalSlots(e, slots, vals); err != ErrDivideByZero {
+			t.Errorf("%s: err = %v, want ErrDivideByZero", e, err)
+		}
+	}
+}
+
+func TestEvalSlotsZeroAlloc(t *testing.T) {
+	slots, vals := slotView(map[string]int64{"x": 7, "y": 3})
+	e := Add(Mul(L("x"), L("y")), Min(L("x"), C(100)))
+	if n := testing.AllocsPerRun(200, func() {
+		v, err := EvalSlots(e, slots, vals)
+		if err != nil || v != 28 {
+			t.Fatalf("eval = %d, %v", v, err)
+		}
+	}); n != 0 {
+		t.Fatalf("slot eval allocates %v per run, want 0", n)
+	}
+}
+
+func TestEvalSlotsForeignExprFallback(t *testing.T) {
+	slots, vals := slotView(map[string]int64{"x": 4})
+	v, err := EvalSlots(Add(doubler{L("x")}, C(1)), slots, vals)
+	if err != nil || v != 9 {
+		t.Fatalf("foreign expr eval = %d, %v; want 9", v, err)
+	}
+}
+
+// doubler is an Expr implementation from outside the package's known
+// node set, exercising the Env fallback.
+type doubler struct{ inner Expr }
+
+func (d doubler) Eval(env Env) (int64, error) {
+	v, err := d.inner.Eval(env)
+	return 2 * v, err
+}
+func (d doubler) Refs(dst []string) []string { return d.inner.Refs(dst) }
+func (d doubler) String() string             { return "2*(" + d.inner.String() + ")" }

@@ -1,0 +1,117 @@
+package waitfor
+
+import (
+	"fmt"
+	"testing"
+
+	"partialrollback/internal/txn"
+)
+
+// TestRemoveTxnDropsOnlyIncidentArcs pins the O(degree) RemoveTxn
+// rework: removing one transaction drops exactly its incident arcs
+// (both directions, all labels) and leaves every other arc — including
+// arcs whose label sets share entities with the removed node — intact.
+func TestRemoveTxnDropsOnlyIncidentArcs(t *testing.T) {
+	g := New()
+	// 1 waits for 2 (a,b); 2 waits for 3 (c); 3 waits for 1 (d);
+	// 4 waits for 2 (a); 5 waits for 6 (a) — disjoint from 2.
+	g.AddWait(1, 2, "a")
+	g.AddWait(1, 2, "b")
+	g.AddWait(2, 3, "c")
+	g.AddWait(3, 1, "d")
+	g.AddWait(4, 2, "a")
+	g.AddWait(5, 6, "a")
+
+	g.RemoveTxn(2)
+
+	if got := g.Arcs(); len(got) != 2 {
+		t.Fatalf("after RemoveTxn(2): arcs = %v, want 3->1 and 5->6 only", got)
+	}
+	if l := g.Label(3, 1); len(l) != 1 || l[0] != "d" {
+		t.Errorf("label 3->1 = %v, want [d]", l)
+	}
+	if l := g.Label(5, 6); len(l) != 1 || l[0] != "a" {
+		t.Errorf("label 5->6 = %v, want [a]", l)
+	}
+	if w := g.WaitsFor(1); len(w) != 0 {
+		t.Errorf("1 still waits for %v after its holder was removed", w)
+	}
+	if w := g.WaitedOnBy(1); len(w) != 1 || w[0] != 3 {
+		t.Errorf("WaitedOnBy(1) = %v, want [3]", w)
+	}
+	// The removed vertex is really gone: re-adding starts clean.
+	g.AddWait(2, 5, "z")
+	if l := g.Label(2, 5); len(l) != 1 || l[0] != "z" {
+		t.Errorf("re-added node 2 has stale state: label = %v", l)
+	}
+	if l := g.Label(2, 3); len(l) != 0 {
+		t.Errorf("re-added node 2 kept old arc labels %v", l)
+	}
+}
+
+// TestNoDeadlockCheckZeroAlloc pins the acceptance criterion: the
+// no-deadlock wait check (HasCycleThrough / CyclesThrough returning
+// nothing, and WouldDeadlock) allocates nothing on a live graph.
+func TestNoDeadlockCheckZeroAlloc(t *testing.T) {
+	g := New()
+	// A chain with branches; no cycle anywhere.
+	for i := 0; i < 32; i++ {
+		g.AddWait(txn.ID(i), txn.ID(i+1), fmt.Sprintf("e%d", i))
+		g.AddWait(txn.ID(i), txn.ID(i+2), fmt.Sprintf("e%d", i+1))
+	}
+	holders := []txn.ID{33, 34}
+	if n := testing.AllocsPerRun(200, func() {
+		if g.HasCycleThrough(0) {
+			t.Fatal("unexpected cycle")
+		}
+		if got := g.CyclesThrough(0, 1); got != nil {
+			t.Fatalf("unexpected cycles %v", got)
+		}
+		if g.WouldDeadlock(0, holders) {
+			t.Fatal("unexpected WouldDeadlock")
+		}
+	}); n != 0 {
+		t.Fatalf("no-deadlock check allocates %v per run, want 0", n)
+	}
+}
+
+// benchChain builds a wait-for chain of n transactions with no cycle.
+func benchChain(n int) *Graph {
+	g := New()
+	for i := 0; i < n-1; i++ {
+		g.AddWait(txn.ID(i), txn.ID(i+1), fmt.Sprintf("e%d", i))
+	}
+	return g
+}
+
+// BenchmarkWaitNoDeadlock measures the per-wait deadlock check on a
+// graph with no cycle — the common case every blocked request pays.
+func BenchmarkWaitNoDeadlock(b *testing.B) {
+	g := benchChain(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.HasCycleThrough(0) {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+// BenchmarkCyclesThrough measures full cycle enumeration on a graph
+// that actually deadlocks (a ring with chords), the rare slow path.
+func BenchmarkCyclesThrough(b *testing.B) {
+	g := New()
+	const ring = 8
+	for i := 0; i < ring; i++ {
+		g.AddWait(txn.ID(i), txn.ID((i+1)%ring), fmt.Sprintf("e%d", i))
+	}
+	g.AddWait(2, 5, "chord1")
+	g.AddWait(4, 1, "chord2")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.CyclesThrough(0, 0); len(got) == 0 {
+			b.Fatal("expected cycles")
+		}
+	}
+}

@@ -11,13 +11,21 @@
 // deadlock-free graph is a general acyclic digraph and one wait
 // response may close several cycles at once, all through the requester
 // (§3.2).
+//
+// Representation: per-node adjacency (out-edges carrying label sets of
+// interned entity IDs, plus a reverse in-list), so RemoveTxn is
+// O(degree) and the no-deadlock fast path — HasCycleThrough's stamped
+// DFS over reachable nodes — allocates nothing. Simple-cycle
+// enumeration (the rare deadlock path) still mirrors
+// graph.Digraph.AllCyclesThrough exactly, successors in ascending ID
+// order, so victim selection stays byte-identical.
 package waitfor
 
 import (
 	"fmt"
 	"sort"
 
-	"partialrollback/internal/graph"
+	"partialrollback/internal/intern"
 	"partialrollback/internal/lock"
 	"partialrollback/internal/txn"
 )
@@ -32,57 +40,196 @@ func (a Arc) String() string {
 	return fmt.Sprintf("%v -%s-> %v", a.Waiter, a.Entity, a.Holder)
 }
 
-// Graph is the concurrency graph. The zero value is not usable; call
-// New.
-type Graph struct {
-	d *graph.Digraph
-	// labels maps (waiter, holder) to the entities labeling the arc.
-	labels map[[2]txn.ID]map[string]bool
+// edge is one labeled arc waiter -> holder. Labels are a small set of
+// interned entity IDs, scanned linearly (an arc rarely carries more
+// than a couple of entities).
+type edge struct {
+	to     txn.ID
+	labels []intern.ID
 }
 
-// New returns an empty concurrency graph.
+type node struct {
+	id     txn.ID
+	out    []edge
+	in     []txn.ID // waiters with an arc to this node
+	stamp  uint64   // visited mark for stamped traversals
+	onPath bool     // cycle-enumeration path membership
+}
+
+// Graph is the concurrency graph. The zero value is not usable; call
+// New or NewInterned.
+type Graph struct {
+	names *intern.Table
+	nodes map[txn.ID]*node
+
+	nodePool  []*node
+	labelPool [][]intern.ID
+
+	stamp uint64  // generation counter for node.stamp
+	stack []*node // reusable DFS stack
+	path  []txn.ID
+}
+
+// New returns an empty concurrency graph with a private interner
+// (names are interned on first AddWait).
 func New() *Graph {
-	return &Graph{
-		d:      graph.NewDigraph(),
-		labels: map[[2]txn.ID]map[string]bool{},
+	return NewInterned(intern.NewTable())
+}
+
+// NewInterned returns an empty concurrency graph sharing names —
+// normally the entity store's interner, so graph labels and lock-table
+// IDs agree.
+func NewInterned(names *intern.Table) *Graph {
+	return &Graph{names: names, nodes: map[txn.ID]*node{}}
+}
+
+// Names exposes the graph's interner.
+func (g *Graph) Names() *intern.Table { return g.names }
+
+func (g *Graph) node(id txn.ID) *node {
+	n := g.nodes[id]
+	if n == nil {
+		if k := len(g.nodePool); k > 0 {
+			n = g.nodePool[k-1]
+			g.nodePool = g.nodePool[:k-1]
+		} else {
+			n = &node{}
+		}
+		n.id = id
+		g.nodes[id] = n
+	}
+	return n
+}
+
+func (g *Graph) putLabels(ls []intern.ID) {
+	if cap(ls) > 0 {
+		g.labelPool = append(g.labelPool, ls[:0])
 	}
 }
 
-// AddTxn ensures the vertex for id exists.
-func (g *Graph) AddTxn(id txn.ID) { g.d.AddNode(int(id)) }
+func (g *Graph) getLabels() []intern.ID {
+	if k := len(g.labelPool); k > 0 {
+		ls := g.labelPool[k-1]
+		g.labelPool = g.labelPool[:k-1]
+		return ls
+	}
+	return nil
+}
 
-// RemoveTxn deletes id and all incident arcs (commit or restart).
+// AddTxn ensures the vertex for id exists.
+func (g *Graph) AddTxn(id txn.ID) { g.node(id) }
+
+// RemoveTxn deletes id and all incident arcs (commit or restart) in
+// O(degree): out-edges detach from their targets' in-lists, and the
+// reverse in-list locates each predecessor's edge directly — no global
+// scan.
 func (g *Graph) RemoveTxn(id txn.ID) {
-	g.d.RemoveNode(int(id))
-	for key := range g.labels {
-		if key[0] == id || key[1] == id {
-			delete(g.labels, key)
+	n := g.nodes[id]
+	if n == nil {
+		return
+	}
+	for i := range n.out {
+		if t := g.nodes[n.out[i].to]; t != nil && t != n {
+			removeID(&t.in, id)
+		}
+		g.putLabels(n.out[i].labels)
+		n.out[i].labels = nil
+	}
+	for _, p := range n.in {
+		pn := g.nodes[p]
+		if pn == nil || pn == n {
+			continue
+		}
+		for i := range pn.out {
+			if pn.out[i].to == id {
+				g.putLabels(pn.out[i].labels)
+				pn.out[i] = pn.out[len(pn.out)-1]
+				pn.out[len(pn.out)-1].labels = nil
+				pn.out = pn.out[:len(pn.out)-1]
+				break
+			}
+		}
+	}
+	n.out = n.out[:0]
+	n.in = n.in[:0]
+	n.onPath = false
+	delete(g.nodes, id)
+	g.nodePool = append(g.nodePool, n)
+}
+
+func removeID(s *[]txn.ID, id txn.ID) {
+	for i, v := range *s {
+		if v == id {
+			(*s)[i] = (*s)[len(*s)-1]
+			*s = (*s)[:len(*s)-1]
+			return
 		}
 	}
 }
 
 // AddWait records that waiter now waits for holder over entity.
 func (g *Graph) AddWait(waiter, holder txn.ID, entity string) {
-	key := [2]txn.ID{waiter, holder}
-	if g.labels[key] == nil {
-		g.labels[key] = map[string]bool{}
-		g.d.AddEdge(int(waiter), int(holder))
+	g.AddWaitID(waiter, holder, g.names.Intern(entity))
+}
+
+// AddWaitID is AddWait by intern ID — the allocation-free hot path.
+func (g *Graph) AddWaitID(waiter, holder txn.ID, ent intern.ID) {
+	nw := g.node(waiter)
+	nh := g.node(holder)
+	for i := range nw.out {
+		if nw.out[i].to == holder {
+			for _, l := range nw.out[i].labels {
+				if l == ent {
+					return
+				}
+			}
+			nw.out[i].labels = append(nw.out[i].labels, ent)
+			return
+		}
 	}
-	g.labels[key][entity] = true
+	ls := append(g.getLabels(), ent)
+	nw.out = append(nw.out, edge{to: holder, labels: ls})
+	nh.in = append(nh.in, waiter)
 }
 
 // RemoveWait drops the entity label from the waiter->holder arc,
 // removing the arc when no labels remain.
 func (g *Graph) RemoveWait(waiter, holder txn.ID, entity string) {
-	key := [2]txn.ID{waiter, holder}
-	set := g.labels[key]
-	if set == nil {
+	ent, ok := g.names.Lookup(entity)
+	if !ok {
 		return
 	}
-	delete(set, entity)
-	if len(set) == 0 {
-		delete(g.labels, key)
-		g.d.RemoveEdge(int(waiter), int(holder))
+	g.RemoveWaitID(waiter, holder, ent)
+}
+
+// RemoveWaitID is RemoveWait by intern ID.
+func (g *Graph) RemoveWaitID(waiter, holder txn.ID, ent intern.ID) {
+	nw := g.nodes[waiter]
+	if nw == nil {
+		return
+	}
+	for i := range nw.out {
+		if nw.out[i].to != holder {
+			continue
+		}
+		ls := nw.out[i].labels
+		for j, l := range ls {
+			if l == ent {
+				ls[j] = ls[len(ls)-1]
+				nw.out[i].labels = ls[:len(ls)-1]
+				break
+			}
+		}
+		if len(nw.out[i].labels) == 0 {
+			g.putLabels(nw.out[i].labels)
+			nw.out[i] = nw.out[len(nw.out)-1]
+			nw.out[len(nw.out)-1].labels = nil
+			nw.out = nw.out[:len(nw.out)-1]
+			if nh := g.nodes[holder]; nh != nil {
+				removeID(&nh.in, waiter)
+			}
+		}
+		return
 	}
 }
 
@@ -91,26 +238,66 @@ func (g *Graph) RemoveWait(waiter, holder txn.ID, entity string) {
 // of the awaited entity changes (release + promotion) and the waiter's
 // arcs must be rebuilt.
 func (g *Graph) ClearEntityWaits(waiter txn.ID, entity string) {
-	for _, h := range g.d.Succ(int(waiter)) {
-		g.RemoveWait(waiter, txn.ID(h), entity)
+	ent, ok := g.names.Lookup(entity)
+	if !ok {
+		return
+	}
+	g.ClearEntityWaitsID(waiter, ent)
+}
+
+// ClearEntityWaitsID is ClearEntityWaits by intern ID.
+func (g *Graph) ClearEntityWaitsID(waiter txn.ID, ent intern.ID) {
+	nw := g.nodes[waiter]
+	if nw == nil {
+		return
+	}
+	for i := len(nw.out) - 1; i >= 0; i-- {
+		ls := nw.out[i].labels
+		for j, l := range ls {
+			if l == ent {
+				ls[j] = ls[len(ls)-1]
+				nw.out[i].labels = ls[:len(ls)-1]
+				break
+			}
+		}
+		if len(nw.out[i].labels) == 0 {
+			holder := nw.out[i].to
+			g.putLabels(nw.out[i].labels)
+			nw.out[i] = nw.out[len(nw.out)-1]
+			nw.out[len(nw.out)-1].labels = nil
+			nw.out = nw.out[:len(nw.out)-1]
+			if nh := g.nodes[holder]; nh != nil {
+				removeID(&nh.in, waiter)
+			}
+		}
 	}
 }
 
 // RemoveAllWaitsBy drops every outgoing arc of waiter (its request was
 // granted or retracted).
 func (g *Graph) RemoveAllWaitsBy(waiter txn.ID) {
-	for _, h := range g.d.Succ(int(waiter)) {
-		g.d.RemoveEdge(int(waiter), h)
-		delete(g.labels, [2]txn.ID{waiter, txn.ID(h)})
+	nw := g.nodes[waiter]
+	if nw == nil {
+		return
 	}
+	for i := range nw.out {
+		if nh := g.nodes[nw.out[i].to]; nh != nil {
+			removeID(&nh.in, waiter)
+		}
+		g.putLabels(nw.out[i].labels)
+		nw.out[i].labels = nil
+	}
+	nw.out = nw.out[:0]
 }
 
 // Arcs returns all arcs, sorted by waiter, holder, entity.
 func (g *Graph) Arcs() []Arc {
 	var out []Arc
-	for key, set := range g.labels {
-		for e := range set {
-			out = append(out, Arc{Waiter: key[0], Holder: key[1], Entity: e})
+	for _, n := range g.nodes {
+		for i := range n.out {
+			for _, l := range n.out[i].labels {
+				out = append(out, Arc{Waiter: n.id, Holder: n.out[i].to, Entity: g.names.Name(l)})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -128,64 +315,272 @@ func (g *Graph) Arcs() []Arc {
 
 // WaitsFor returns the holders waiter currently waits for, sorted.
 func (g *Graph) WaitsFor(waiter txn.ID) []txn.ID {
-	succ := g.d.Succ(int(waiter))
-	out := make([]txn.ID, len(succ))
-	for i, v := range succ {
-		out[i] = txn.ID(v)
+	n := g.nodes[waiter]
+	out := make([]txn.ID, 0, outDegree(n))
+	if n != nil {
+		for i := range n.out {
+			out = append(out, n.out[i].to)
+		}
 	}
+	sortTxnIDs(out)
 	return out
 }
 
 // WaitedOnBy returns the waiters blocked on holder, sorted.
 func (g *Graph) WaitedOnBy(holder txn.ID) []txn.ID {
-	pred := g.d.Pred(int(holder))
-	out := make([]txn.ID, len(pred))
-	for i, v := range pred {
-		out[i] = txn.ID(v)
+	n := g.nodes[holder]
+	if n == nil {
+		return make([]txn.ID, 0)
 	}
+	out := append(make([]txn.ID, 0, len(n.in)), n.in...)
+	sortTxnIDs(out)
 	return out
+}
+
+func outDegree(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return len(n.out)
 }
 
 // Label returns the entities labeling the waiter->holder arc, sorted.
 func (g *Graph) Label(waiter, holder txn.ID) []string {
-	set := g.labels[[2]txn.ID{waiter, holder}]
-	out := make([]string, 0, len(set))
-	for e := range set {
-		out = append(out, e)
+	n := g.nodes[waiter]
+	if n == nil {
+		return make([]string, 0)
 	}
-	sort.Strings(out)
-	return out
+	for i := range n.out {
+		if n.out[i].to == holder {
+			out := make([]string, 0, len(n.out[i].labels))
+			for _, l := range n.out[i].labels {
+				out = append(out, g.names.Name(l))
+			}
+			sort.Strings(out)
+			return out
+		}
+	}
+	return make([]string, 0)
 }
 
 // HasCycle reports whether any directed cycle (deadlock) exists.
-func (g *Graph) HasCycle() bool { return g.d.HasCycle() }
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[txn.ID]int, len(g.nodes))
+	var visit func(n *node) bool
+	visit = func(n *node) bool {
+		color[n.id] = gray
+		for i := range n.out {
+			w := g.nodes[n.out[i].to]
+			switch color[w.id] {
+			case gray:
+				return true
+			case white:
+				if visit(w) {
+					return true
+				}
+			}
+		}
+		color[n.id] = black
+		return false
+	}
+	for _, n := range g.nodes {
+		if color[n.id] == white && visit(n) {
+			return true
+		}
+	}
+	return false
+}
 
 // IsForest reports Theorem 1's condition: the graph, viewed as
-// undirected, is acyclic.
-func (g *Graph) IsForest() bool { return g.d.IsForest() }
+// undirected, is acyclic. Parallel arcs u->v and v->u count as a
+// cycle, as do self loops.
+func (g *Graph) IsForest() bool {
+	seen := make(map[txn.ID]bool, len(g.nodes))
+	for _, root := range g.nodes {
+		if seen[root.id] {
+			continue
+		}
+		type frame struct {
+			v    txn.ID
+			from txn.ID
+		}
+		// Transaction IDs are non-negative, so -1 is a safe
+		// "no parent" sentinel.
+		stack := []frame{{root.id, -1}}
+		seen[root.id] = true
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := g.nodes[f.v]
+			// Undirected neighbor multiset.
+			nbrs := map[txn.ID]int{}
+			for i := range n.out {
+				nbrs[n.out[i].to]++
+			}
+			for _, p := range n.in {
+				nbrs[p]++
+			}
+			if nbrs[f.v] > 0 {
+				return false // self loop
+			}
+			usedParentEdge := false
+			for w, mult := range nbrs {
+				if w == f.from && !usedParentEdge {
+					usedParentEdge = true
+					if mult > 1 {
+						return false // parallel arcs both ways
+					}
+					continue
+				}
+				if seen[w] {
+					return false
+				}
+				seen[w] = true
+				stack = append(stack, frame{w, f.v})
+			}
+		}
+	}
+	return true
+}
+
+// nextStamp starts a new traversal generation.
+func (g *Graph) nextStamp() uint64 {
+	g.stamp++
+	return g.stamp
+}
+
+// HasCycleThrough reports whether at least one directed cycle passes
+// through id — equivalently, whether id is reachable from any of its
+// successors. This is the no-deadlock fast path: one stamped DFS over
+// the reachable subgraph, zero allocations, no cycle materialized.
+func (g *Graph) HasCycleThrough(id txn.ID) bool {
+	n := g.nodes[id]
+	if n == nil || len(n.out) == 0 {
+		return false
+	}
+	s := g.nextStamp()
+	g.stack = g.stack[:0]
+	for i := range n.out {
+		if n.out[i].to == id {
+			return true // self loop
+		}
+		w := g.nodes[n.out[i].to]
+		if w.stamp != s {
+			w.stamp = s
+			g.stack = append(g.stack, w)
+		}
+	}
+	for len(g.stack) > 0 {
+		x := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		for i := range x.out {
+			if x.out[i].to == id {
+				return true
+			}
+			w := g.nodes[x.out[i].to]
+			if w.stamp != s {
+				w.stamp = s
+				g.stack = append(g.stack, w)
+			}
+		}
+	}
+	return false
+}
 
 // CyclesThrough enumerates the simple cycles containing id, up to
-// limit (limit <= 0: unlimited). Each cycle starts at id.
+// limit (limit <= 0: unlimited). Each cycle starts at id. The
+// no-cycle case is answered by HasCycleThrough without allocating;
+// enumeration itself (the actual-deadlock path) visits successors in
+// ascending transaction-ID order, matching the historical
+// graph.Digraph.AllCyclesThrough traversal exactly.
 func (g *Graph) CyclesThrough(id txn.ID, limit int) [][]txn.ID {
-	raw := g.d.AllCyclesThrough(int(id), limit)
-	out := make([][]txn.ID, len(raw))
-	for i, c := range raw {
-		ids := make([]txn.ID, len(c))
-		for j, v := range c {
-			ids[j] = txn.ID(v)
-		}
-		out[i] = ids
+	if !g.HasCycleThrough(id) {
+		return nil
 	}
-	return out
+	v := g.nodes[id]
+	var cycles [][]txn.ID
+	g.path = append(g.path[:0], id)
+	v.onPath = true
+	var dfs func(x *node) bool // true when limit reached
+	dfs = func(x *node) bool {
+		succ := make([]txn.ID, 0, len(x.out))
+		for i := range x.out {
+			succ = append(succ, x.out[i].to)
+		}
+		sortTxnIDs(succ)
+		for _, w := range succ {
+			if w == id {
+				cycles = append(cycles, append([]txn.ID(nil), g.path...))
+				if limit > 0 && len(cycles) >= limit {
+					return true
+				}
+				continue
+			}
+			wn := g.nodes[w]
+			if wn.onPath {
+				continue
+			}
+			wn.onPath = true
+			g.path = append(g.path, w)
+			if dfs(wn) {
+				return true
+			}
+			g.path = g.path[:len(g.path)-1]
+			wn.onPath = false
+		}
+		return false
+	}
+	dfs(v)
+	// On a limit-abort the path still holds the live DFS stack; clear
+	// its onPath marks (covers the normal case too, where only id
+	// remains).
+	for _, pid := range g.path {
+		g.nodes[pid].onPath = false
+	}
+	g.path = g.path[:0]
+	return cycles
 }
 
 // WouldDeadlock reports whether making waiter wait for the given
 // holders would close at least one cycle, i.e. whether waiter is
-// reachable from any holder.
+// reachable from any holder. Zero allocations (stamped DFS).
 func (g *Graph) WouldDeadlock(waiter txn.ID, holders []txn.ID) bool {
 	for _, h := range holders {
-		if h == waiter || g.d.PathExists(int(h), int(waiter)) {
+		if h == waiter || g.reachable(h, waiter) {
 			return true
+		}
+	}
+	return false
+}
+
+// reachable reports whether to is reachable from from (including
+// from == to, matching the historical PathExists).
+func (g *Graph) reachable(from, to txn.ID) bool {
+	nf := g.nodes[from]
+	nt := g.nodes[to]
+	if nf == nil || nt == nil {
+		return false
+	}
+	s := g.nextStamp()
+	nf.stamp = s
+	g.stack = append(g.stack[:0], nf)
+	for len(g.stack) > 0 {
+		x := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		if x == nt {
+			return true
+		}
+		for i := range x.out {
+			w := g.nodes[x.out[i].to]
+			if w.stamp != s {
+				w.stamp = s
+				g.stack = append(g.stack, w)
+			}
 		}
 	}
 	return false
@@ -231,4 +626,14 @@ func (g *Graph) String() string {
 		s += fmt.Sprintf("%v -%s-> %v (holds; waited on by)\n", a.Holder, a.Entity, a.Waiter)
 	}
 	return s
+}
+
+// sortTxnIDs sorts ascending in place without the sort.Slice closure
+// allocation; the lists here are adjacency lists of a single node.
+func sortTxnIDs(ids []txn.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# E17 throughput sweep: drive the current tree's network server with
+# prload over the hotspot and banking workloads at shards 1 and 4, and
+# print one JSON result per configuration. Run from the repository
+# root:
+#
+#   ./scripts/bench_e17.sh [outdir]
+#
+# To compare against another revision, check it out (or use a git
+# worktree), run this script there, and diff the throughputTxnPerSec
+# fields; the committed BENCH_E17.json records one such comparison
+# against the PR-3 tree (see EXPERIMENTS.md, E17). Numbers are
+# machine-dependent — only before/after ratios measured back-to-back
+# on one machine are meaningful.
+set -eu
+
+OUT=${1:-/tmp/bench_e17}
+PORT=${PORT:-7615}
+TRIALS=${TRIALS:-3}
+mkdir -p "$OUT"
+
+go build -o "$OUT/prserver" ./cmd/prserver
+go build -o "$OUT/prload" ./cmd/prload
+
+run_one() {
+    wl=$1; sh=$2; trial=$3
+    port=$((PORT + trial))
+    "$OUT/prserver" -addr 127.0.0.1:$port -strategy mcs -entities 64 \
+        -accounts 16 -shards "$sh" >/dev/null 2>&1 &
+    spid=$!
+    sleep 0.7
+    f="$OUT/${wl}_s${sh}_r${trial}.json"
+    if [ "$wl" = hotspot ]; then
+        "$OUT/prload" -addr 127.0.0.1:$port -clients 8 -txns 600 \
+            -workload hotspot -db 64 -hot 8 -hotprob 0.8 -locks 4 \
+            -seed 1 -json "$f" >/dev/null
+    else
+        "$OUT/prload" -addr 127.0.0.1:$port -clients 8 -txns 600 \
+            -workload banking -accounts 16 -seed 1 -json "$f" >/dev/null
+    fi
+    kill $spid 2>/dev/null || true
+    wait $spid 2>/dev/null || true
+    echo "$wl shards=$sh trial=$trial: $(grep -o '"throughputTxnPerSec": [0-9.]*' "$f")"
+}
+
+for wl in hotspot banking; do
+    for sh in 1 4; do
+        t=1
+        while [ "$t" -le "$TRIALS" ]; do
+            run_one "$wl" "$sh" "$t"
+            t=$((t + 1))
+        done
+    done
+done
+
+echo "results in $OUT"

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Benchmark smoke test: run every micro-benchmark exactly once under
+# the race detector, plus the zero-allocation regression tests that pin
+# the hot path's alloc-freedom. This does not measure anything — it
+# proves the benchmark code itself still builds and runs (benchmarks
+# are skipped by plain `go test`, so they otherwise rot). Run from the
+# repository root:
+#
+#   ./scripts/bench_smoke.sh
+set -eux
+
+go test -race -count=1 -run 'ZeroAlloc' -bench . -benchtime 1x \
+    ./internal/lock ./internal/waitfor ./internal/core ./internal/value

@@ -18,6 +18,10 @@ go test -race ./...
 go test -race -count=1 ./internal/shard/
 go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnshardedRegression' ./internal/sim/
 
+# Micro-benchmarks: one race-enabled iteration each, plus the
+# zero-allocation regression tests, so benchmark code cannot rot.
+./scripts/bench_smoke.sh
+
 # Observability end-to-end: start prserver with -admin and assert the
 # metrics, wait-for-graph and transaction-table endpoints really serve
 # (needs curl; skipped where unavailable).
