@@ -54,6 +54,7 @@ var (
 	accounts = flag.Int("accounts", 16, "banking: accounts (must be <= server -accounts)")
 	balance  = flag.Int64("balance", 100, "banking: unused by the client, kept for symmetry")
 	seed     = flag.Int64("seed", 1, "workload seed (client i uses seed+i)")
+	proto    = flag.Int("proto", 1, "wire protocol: 1 = one frame per operation, 2 = whole program in one BeginProgram frame")
 	timeout  = flag.Duration("timeout", time.Minute, "per-attempt client deadline")
 	attempts = flag.Int("attempts", 16, "max attempts per transaction")
 	adminURL = flag.String("admin", "", "server admin endpoint (host:port or URL) to scrape /metrics from after the run")
@@ -121,6 +122,7 @@ type report struct {
 	Clients       int     `json:"clients"`
 	TxnsPerClient int     `json:"txnsPerClient"`
 	Seed          int64   `json:"seed"`
+	Proto         int     `json:"proto"`
 	ElapsedSec    float64 `json:"elapsedSec"`
 	Committed     int     `json:"committed"`
 	Failed        int     `json:"failed"`
@@ -133,6 +135,13 @@ type report struct {
 	TotalRB       int64   `json:"totalRollbacks"`
 	Waits         int64   `json:"waits"`
 	NetRetries    int64   `json:"netRetries"`
+	// WireFramesPerTxn is the server-observed inbound frame count per
+	// served transaction (frames_in / txns_served): ~ops+2 under v1,
+	// ~1 under v2.
+	WireFramesPerTxn float64 `json:"wireFramesPerTxn"`
+	// WriterFlushes is the server's coalesced-write count — each flush
+	// is one conn.Write, so this is the write-syscall proxy for the run.
+	WriterFlushes int64 `json:"writerFlushes"`
 	// ServerCounters is the wire STATS snapshot.
 	ServerCounters map[string]int64 `json:"serverCounters,omitempty"`
 	// AdminMetrics is the expvar-style JSON scraped from the admin
@@ -242,6 +251,7 @@ func main() {
 				MaxAttempts:    *attempts,
 				Backoff:        exec.Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond},
 				Seed:           *seed + int64(i) + 1,
+				Proto:          *proto,
 			})
 			defer c.Close()
 			st := &stats[i]
@@ -299,6 +309,7 @@ func main() {
 		Clients:       *clients,
 		TxnsPerClient: *txnsPer,
 		Seed:          *seed,
+		Proto:         *proto,
 		ElapsedSec:    elapsed.Seconds(),
 		Committed:     total.committed,
 		Failed:        total.failed,
@@ -323,6 +334,12 @@ func main() {
 			fmt.Printf("  %-18s %d\n", cn.Name, cn.Val)
 			rep.ServerCounters[cn.Name] = cn.Val
 		}
+		if served := rep.ServerCounters["txns_served"]; served > 0 {
+			rep.WireFramesPerTxn = float64(rep.ServerCounters["frames_in"]) / float64(served)
+		}
+		rep.WriterFlushes = rep.ServerCounters["writer_flushes"]
+		fmt.Printf("wire: frames/txn=%.2f writer-flushes=%d (frames-out=%d)\n",
+			rep.WireFramesPerTxn, rep.WriterFlushes, rep.ServerCounters["frames_out"])
 		printShardBalance(counters)
 	} else {
 		log.Printf("stats request failed: %v", err)

@@ -59,6 +59,7 @@ var (
 	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "per-message read deadline")
 	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	shards      = flag.Int("shards", 1, "engine shards (1 = single engine; >1 partitions the lock/wait-for/detection core)")
+	burst       = flag.Int("burst", 1, "max consecutive steps per engine-lock acquisition (1 = classic step-at-a-time)")
 	admin       = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/waitfor, /debug/txns and pprof (empty disables)")
 	traceCap    = flag.Int("trace", 0, "enable transaction tracing, retaining the last N completed traces (0 disables; requires -admin)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
@@ -134,6 +135,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		IdleTimeout:    *idleTimeout,
 		Shards:         *shards,
+		Burst:          *burst,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -165,8 +167,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d)",
-		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards)
+	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d burst=%d)",
+		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *burst)
 
 	var adminSrv *http.Server
 	if *admin != "" {

@@ -52,6 +52,11 @@ type Config struct {
 	// counters and commit latencies. Share one instance across clients
 	// (all fields are atomic) to observe a whole load-generating fleet.
 	Metrics *obs.ClientMetrics
+	// Proto selects the wire encoding for submitted programs: 0 or 1
+	// sends the v1 sequence (one frame per operation), 2 sends the whole
+	// program as a single v2 BeginProgram frame. Negotiation is
+	// per-frame, so either works against the same server.
+	Proto int
 }
 
 // ServerError is an Error frame returned by the server.
@@ -176,9 +181,18 @@ func (c *Client) dropConn() {
 // server committed it, a *ServerError when the server refused or rolled
 // it back (check Retryable), a transport error otherwise.
 func (c *Client) RunOnce(prog *txn.Program) (*Result, error) {
-	msgs, err := wire.ProgramMsgs(prog)
-	if err != nil {
-		return nil, err
+	var msgs []wire.Msg
+	if c.cfg.Proto >= 2 {
+		frame, err := wire.ProgramFrame(prog)
+		if err != nil {
+			return nil, err
+		}
+		msgs = []wire.Msg{frame}
+	} else {
+		var err error
+		if msgs, err = wire.ProgramMsgs(prog); err != nil {
+			return nil, err
+		}
 	}
 	if err := c.ensureConn(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"testing"
 
 	"partialrollback/internal/entity"
@@ -77,6 +78,74 @@ func BenchmarkUncontendedTxn(b *testing.B) {
 		if err := s.Forget(id); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestStepBurstZeroAlloc pins the same property on the burst path: a
+// StepBurst call over the steady-state compute/write stream must not
+// allocate beyond what the per-step path does — the burst loop itself
+// is just a counter around stepLocked.
+func TestStepBurstZeroAlloc(t *testing.T) {
+	store := entity.NewStore(map[string]int64{"a": 1})
+	s := New(Config{Store: store})
+	b := txn.NewProgram("hot").Local("x", 0).LockX("a").Read("a", "x")
+	for i := 0; i < 20000; i++ {
+		b.Compute("x", value.Add(value.L("x"), value.C(1)))
+		b.Write("a", value.L("x"))
+	}
+	prog := b.MustBuild()
+	id := s.MustRegister(prog)
+	for i := 0; i < 2; i++ {
+		if res, err := s.Step(id); err != nil || res.Outcome != Progressed {
+			t.Fatalf("setup step %d: %+v, %v", i, res, err)
+		}
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		res, steps, err := s.StepBurst(id, 64)
+		if err != nil || res.Outcome != Progressed || steps != 64 {
+			t.Fatalf("burst: %+v, %d, %v", res, steps, err)
+		}
+	}); n != 0 {
+		t.Fatalf("StepBurst allocates %v per run, want 0", n)
+	}
+}
+
+// BenchmarkStepBurst measures the burst-scheduling win in isolation:
+// one transaction stepping a long compute/write stream under a single
+// mutex acquisition per burst. Sub-benchmarks sweep the burst size so
+// the per-acquisition amortisation is visible (burst=1 is the old
+// one-lock-per-step cost).
+func BenchmarkStepBurst(b *testing.B) {
+	for _, burst := range []int{1, 4, 16, 64} {
+		b.Run("burst="+strconv.Itoa(burst), func(b *testing.B) {
+			store := entity.NewStore(map[string]int64{"a": 1})
+			s := New(Config{Store: store})
+			pb := txn.NewProgram("hot").Local("x", 0).LockX("a").Read("a", "x")
+			for i := 0; i < 4096; i++ {
+				pb.Compute("x", value.Add(value.L("x"), value.C(1)))
+				pb.Write("a", value.L("x"))
+			}
+			prog := pb.MustBuild()
+			id := s.MustRegister(prog)
+			b.ReportAllocs()
+			b.ResetTimer()
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				res, n, err := s.StepBurst(id, burst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += n
+				if res.Outcome == Committed {
+					// Recycle: amortised over ~8k steps per program.
+					if err := s.Forget(id); err != nil {
+						b.Fatal(err)
+					}
+					id = s.MustRegister(prog)
+				}
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+		})
 	}
 }
 

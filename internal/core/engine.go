@@ -16,6 +16,12 @@ type Engine interface {
 	Register(prog *txn.Program) (txn.ID, error)
 	// Step executes the next atomic operation of id (see System.Step).
 	Step(id txn.ID) (StepResult, error)
+	// StepBurst executes up to max consecutive atomic operations of id
+	// under one engine-lock acquisition, stopping early on anything
+	// other than plain progress (see System.StepBurst). It returns the
+	// last step's result and the number of operations attempted.
+	// StepBurst(id, 1) is equivalent to Step(id).
+	StepBurst(id txn.ID, max int) (StepResult, int, error)
 	// Status returns id's execution status.
 	Status(id txn.ID) (Status, error)
 	// Abort rolls id back to its initial state and removes it; fails

@@ -20,6 +20,51 @@ func (s *System) Step(id txn.ID) (StepResult, error) {
 	if err != nil {
 		return StepResult{}, err
 	}
+	return s.stepLocked(t)
+}
+
+// StepBurst executes up to max consecutive atomic operations of
+// transaction id under a single mutex acquisition, stopping early the
+// moment a step does anything other than progress: commit, block (with
+// or without a deadlock), rollback of the stepping transaction itself,
+// or a no-op poll of a waiting/committed transaction. It returns the
+// last step's result plus the number of operations the engine actually
+// attempted (polls of waiting or committed transactions count zero).
+//
+// Conflict resolution stays operation-granular: every lock request
+// inside the burst goes through exactly the same grant/wait/detect
+// logic as Step, and a wait ends the burst immediately, so the set of
+// reachable schedules is unchanged — a burst merely runs a sequence of
+// steps other transactions would not have been scheduled between.
+// StepBurst(id, 1) is byte-identical to Step(id) (pinned by a
+// regression test in internal/sim).
+func (s *System) StepBurst(id txn.ID, max int) (StepResult, int, error) {
+	if max < 1 {
+		max = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.get(id)
+	if err != nil {
+		return StepResult{}, 0, err
+	}
+	steps := 0
+	for {
+		res, err := s.stepLocked(t)
+		if err != nil {
+			return res, steps, err
+		}
+		if res.Outcome != AlreadyCommitted && res.Outcome != StillWaiting {
+			steps++
+		}
+		if res.Outcome != Progressed || steps >= max {
+			return res, steps, nil
+		}
+	}
+}
+
+// stepLocked executes t's next atomic operation. Caller holds s.mu.
+func (s *System) stepLocked(t *tstate) (StepResult, error) {
 	switch t.status {
 	case StatusCommitted:
 		return StepResult{Outcome: AlreadyCommitted}, nil

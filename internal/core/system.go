@@ -343,12 +343,12 @@ func New(cfg Config) *System {
 // program must be valid (see txn.Validate); Register re-validates and
 // returns an error otherwise.
 func (s *System) Register(prog *txn.Program) (txn.ID, error) {
-	if err := txn.Validate(prog); err != nil {
+	a, err := txn.ValidateAnalyze(prog)
+	if err != nil {
 		return txn.None, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	a := txn.Analyze(prog)
 	opEnt := make([]intern.ID, len(prog.Ops))
 	for i, o := range prog.Ops {
 		opEnt[i] = intern.None

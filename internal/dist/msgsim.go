@@ -230,13 +230,14 @@ func MsgRun(w sim.Workload, cfg MsgConfig) (MsgResult, error) {
 	}
 	// Register agents.
 	for i, p := range w.Programs {
-		if err := txn.Validate(p); err != nil {
+		analysis, err := txn.ValidateAnalyze(p)
+		if err != nil {
 			return MsgResult{}, err
 		}
 		a := &msgAgent{
 			id:        txn.ID(i + 1),
 			prog:      p,
-			analysis:  txn.Analyze(p),
+			analysis:  analysis,
 			entry:     int64(i + 1),
 			locals:    map[string]int64{},
 			copies:    map[string]int64{},

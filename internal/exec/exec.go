@@ -95,16 +95,46 @@ const ctxCheckInterval = 256
 // abort or drain it), and an engine error otherwise. maxSteps <= 0
 // means 1,000,000.
 func StepToCommit(ctx context.Context, sys core.Engine, id txn.ID, wake <-chan struct{}, maxSteps int) error {
+	return StepToCommitBurst(ctx, sys, id, wake, maxSteps, 1)
+}
+
+// StepToCommitBurst is StepToCommit with a burst knob: each engine
+// acquisition runs up to burst consecutive steps (core.Engine.StepBurst)
+// instead of one, cutting mutex handoffs per transaction by up to the
+// burst factor. Conflicts still resolve at operation granularity — a
+// step that must wait ends the burst — and the scheduler still yields
+// between bursts, so concurrent transactions interleave at burst
+// boundaries. burst <= 1 is byte-identical to the classic
+// one-step-per-acquisition loop (pinned by a regression test).
+//
+// maxSteps bounds attempted engine operations (waiting polls count one
+// so a livelocked transaction cannot spin forever against a zero
+// budget); burst is clamped so one burst never overruns the remaining
+// budget.
+func StepToCommitBurst(ctx context.Context, sys core.Engine, id txn.ID, wake <-chan struct{}, maxSteps, burst int) error {
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
-	for steps := 0; steps < maxSteps; steps++ {
-		if steps%ctxCheckInterval == 0 {
+	if burst < 1 {
+		burst = 1
+	}
+	nextCheck := 0
+	for steps := 0; steps < maxSteps; {
+		if steps >= nextCheck {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			nextCheck = steps + ctxCheckInterval
 		}
-		res, err := sys.Step(id)
+		b := burst
+		if rem := maxSteps - steps; b > rem {
+			b = rem
+		}
+		res, n, err := sys.StepBurst(id, b)
+		if n < 1 {
+			n = 1 // polls of a waiting transaction still consume budget
+		}
+		steps += n
 		if err != nil {
 			return fmt.Errorf("exec: %v: %w", id, err)
 		}
@@ -112,11 +142,11 @@ func StepToCommit(ctx context.Context, sys core.Engine, id txn.ID, wake <-chan s
 		case core.Committed, core.AlreadyCommitted:
 			return nil
 		case core.Progressed, core.SelfRolledBack:
-			// Yield between steps so concurrent transactions interleave
+			// Yield between bursts so concurrent transactions interleave
 			// — the paper's model of interleaved atomic operations.
 			// Without this a driver on GOMAXPROCS=1 runs every
-			// transaction to commit in one burst and no two ever
-			// contend for a lock.
+			// transaction to commit in one go and no two ever contend
+			// for a lock.
 			runtime.Gosched()
 			continue
 		case core.Blocked, core.BlockedDeadlock, core.StillWaiting:
@@ -162,12 +192,21 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	if cap <= 0 {
 		cap = 250 * time.Millisecond
 	}
-	d := base
-	for i := 0; i < attempt && d < cap; i++ {
-		d *= 2
+	// base·2^attempt by bit-shift, saturating at cap: O(1) for any
+	// attempt count, where the old doubling loop was O(attempt). The
+	// shift is guarded against overflow — at 63+ bits, or when shifting
+	// back does not restore base, the doubling has certainly passed any
+	// positive cap.
+	d := cap
+	if attempt <= 0 {
+		d = base
+	} else if attempt < 63 {
+		if shifted := base << attempt; shifted>>attempt == base && shifted < cap {
+			d = shifted
+		}
 	}
 	if d > cap {
-		d = cap
+		d = cap // a Base above Cap still clamps, as the loop did
 	}
 	var f float64
 	switch {

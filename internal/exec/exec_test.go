@@ -100,6 +100,53 @@ func TestBackoffDelayBounds(t *testing.T) {
 	}
 }
 
+// TestBackoffDelayExtremeAttempts pins the O(1) shift computation at
+// the edges the old doubling loop never hit in practice: attempt counts
+// far past the overflow point (a retry loop left running for days),
+// negative attempts, and a Base above Cap must all clamp to Cap (or
+// Base-capped-to-Cap) instantly, never overflow into a negative or
+// zero-length delay, and never spin O(attempt).
+func TestBackoffDelayExtremeAttempts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := Backoff{Base: time.Millisecond, Cap: 250 * time.Millisecond}
+	for _, attempt := range []int{62, 63, 64, 1 << 20, 1 << 30, int(^uint(0) >> 1)} {
+		start := time.Now()
+		for i := 0; i < 100; i++ {
+			d := b.Delay(attempt, rng)
+			if d <= 0 || d > b.Cap {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, b.Cap)
+			}
+		}
+		// The old loop doubled attempt times; at 2^30 attempts that is
+		// visible wall-clock. The shift must be effectively free.
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("attempt %d: 100 delays took %v; computation is not O(1)", attempt, elapsed)
+		}
+	}
+	for _, attempt := range []int{-1, -63, -(1 << 40)} {
+		if d := b.Delay(attempt, rng); d <= 0 || d > b.Base {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, b.Base)
+		}
+	}
+	// A Base above Cap clamps to Cap at every attempt, as the loop did.
+	inv := Backoff{Base: time.Second, Cap: 100 * time.Millisecond}
+	for _, attempt := range []int{0, 1, 5, 64, 1 << 30} {
+		if d := inv.Delay(attempt, rng); d <= 0 || d > inv.Cap {
+			t.Fatalf("base>cap attempt %d: delay %v outside (0, %v]", attempt, d, inv.Cap)
+		}
+	}
+	// Exact saturation point: with Base 1ms and Cap 250ms the shift
+	// passes the cap at attempt 8 (256ms); from there every delay draws
+	// from the full (0, Cap] range.
+	b.Jitter = func() float64 { return 0.999999 }
+	for _, attempt := range []int{8, 9, 63, 1 << 30} {
+		d := b.Delay(attempt, nil)
+		if d < 249*time.Millisecond || d > b.Cap {
+			t.Fatalf("attempt %d: near-1 jitter delay %v, want ~%v", attempt, d, b.Cap)
+		}
+	}
+}
+
 func TestBackoffSleep(t *testing.T) {
 	t.Run("completes", func(t *testing.T) {
 		b := Backoff{Base: time.Microsecond, Cap: time.Microsecond}

@@ -61,6 +61,42 @@ func TestConcurrentWithPrevention(t *testing.T) {
 	}
 }
 
+// TestConcurrentBurst runs the concurrent driver with burst stepping
+// (run with -race): at every burst level, unsharded and sharded, a
+// contended banking workload must fully commit, keep the store's sum
+// constraint, and stay conflict-serializable — bursting amortizes
+// engine-lock acquisitions but must not coarsen conflict resolution.
+func TestConcurrentBurst(t *testing.T) {
+	for _, burst := range []int{1, 4, 16, 64} {
+		for _, shards := range []int{0, 4} {
+			t.Run(fmt.Sprintf("burst%d/shards%d", burst, shards), func(t *testing.T) {
+				const accounts, transfers = 6, 40
+				w := sim.BankingWorkload(accounts, transfers, 1000, int64(17+burst))
+				store := w.NewStore()
+				out, err := Run(store, w.Programs, Options{
+					Strategy: core.MCS, RecordHistory: true,
+					Shards: shards, Burst: burst,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := store.CheckConsistent(); err != nil {
+					t.Fatal(err)
+				}
+				if out.Stats.Commits != transfers {
+					t.Errorf("commits = %d, want %d", out.Stats.Commits, transfers)
+				}
+				if err := out.System.CheckInvariants(); err != nil {
+					t.Error(err)
+				}
+				if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
 // TestConcurrentSharded runs the concurrent driver over multi-shard
 // engines (run with -race): a mixed hotspot workload must fully commit,
 // keep the store consistent, pass engine invariants, and stay

@@ -66,6 +66,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxStepsPerTxn bounds engine steps per transaction (0: 1M).
 	MaxStepsPerTxn int
+	// Burst is the maximum number of consecutive steps one transaction
+	// runs per engine-lock acquisition (core.Engine.StepBurst); 0 or 1
+	// is the classic one-step-per-acquisition loop. Larger bursts
+	// amortize engine mutex handoffs across operations; conflicts still
+	// resolve at operation granularity and the burst bound keeps
+	// scheduling fair.
+	Burst int
 	// StarvationLimit forwards to core.Config.StarvationLimit.
 	StarvationLimit int
 	// Shards selects the engine: 0 or 1 serves a single core.System, a
@@ -110,6 +117,9 @@ type Server struct {
 	txnsServed     atomic.Int64
 	bytesIn        atomic.Int64
 	bytesOut       atomic.Int64
+	framesIn       atomic.Int64
+	framesOut      atomic.Int64
+	writerFlushes  atomic.Int64
 	busyRejected   atomic.Int64
 	protoErrors    atomic.Int64
 	notifyDropped  atomic.Int64
@@ -376,6 +386,8 @@ func (s *Server) Counters() []wire.Counter {
 		{Name: "bytes_in", Val: s.bytesIn.Load()},
 		{Name: "bytes_out", Val: s.bytesOut.Load()},
 		{Name: "busy_rejected", Val: s.busyRejected.Load()},
+		{Name: "frames_in", Val: s.framesIn.Load()},
+		{Name: "frames_out", Val: s.framesOut.Load()},
 		{Name: "commits", Val: st.Commits},
 		{Name: "deadlocks", Val: st.Deadlocks},
 		{Name: "grants", Val: st.Grants},
@@ -389,6 +401,7 @@ func (s *Server) Counters() []wire.Counter {
 		{Name: "steps", Val: st.Steps},
 		{Name: "txns_served", Val: s.txnsServed.Load()},
 		{Name: "waits", Val: st.Waits},
+		{Name: "writer_flushes", Val: s.writerFlushes.Load()},
 	}
 	if s.sharded != nil {
 		out = append(out, wire.Counter{Name: "shards", Val: int64(s.sharded.Shards())})
@@ -476,27 +489,56 @@ func (s *Server) runSession(conn net.Conn) {
 	ss := &session{srv: s, conn: conn, br: bufio.NewReader(conn), out: make(chan wire.Msg, 128)}
 
 	// Writer: the single goroutine that touches the connection's write
-	// side. On write failure it keeps draining so senders never block.
+	// side. It coalesces: every frame already queued behind the one just
+	// received is encoded into the same buffer and the batch goes out in
+	// one conn.Write, so a burst of notifications plus the final reply
+	// costs one write syscall instead of one each. On write failure it
+	// keeps draining so senders never block.
+	const writerSoftCap = 64 << 10 // flush once a batch passes 64 KiB
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		failed := false
-		for m := range ss.out {
+		var buf []byte
+		encode := func(m wire.Msg) {
 			if failed {
-				continue
+				return
 			}
-			frame, err := wire.Encode(m)
+			nb, err := wire.AppendMsg(buf, m)
 			if err != nil {
 				s.cfg.Logf("server: encode %s: %v", m.Type(), err)
+				return
+			}
+			buf = nb
+			s.framesOut.Add(1)
+		}
+		for m := range ss.out {
+			encode(m)
+		drain:
+			for len(buf) < writerSoftCap {
+				select {
+				case queued, ok := <-ss.out:
+					if !ok {
+						break drain
+					}
+					encode(queued)
+				default:
+					break drain
+				}
+			}
+			if failed || len(buf) == 0 {
+				buf = buf[:0]
 				continue
 			}
 			// Count before the write: a pipe write unblocks the peer,
 			// who may immediately request a counter snapshot.
-			s.bytesOut.Add(int64(len(frame)))
+			s.bytesOut.Add(int64(len(buf)))
+			s.writerFlushes.Add(1)
 			_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-			if _, err := conn.Write(frame); err != nil {
+			if _, err := conn.Write(buf); err != nil {
 				failed = true
 			}
+			buf = buf[:0]
 		}
 	}()
 
@@ -527,11 +569,16 @@ func (s *Server) runSession(conn net.Conn) {
 			}
 			return
 		}
+		s.framesIn.Add(1)
 		switch x := m.(type) {
 		case wire.Stats:
 			ss.send(wire.StatsReply{Counters: s.Counters()})
 		case wire.Begin:
 			if closeConn := s.handleTxn(ss, x); closeConn {
+				return
+			}
+		case wire.BeginProgram:
+			if closeConn := s.handleProgram(ss, x); closeConn {
 				return
 			}
 		default:
@@ -542,9 +589,9 @@ func (s *Server) runSession(conn net.Conn) {
 	}
 }
 
-// handleTxn consumes the rest of one transaction's message sequence,
-// executes it, and replies. It reports whether the connection must be
-// closed (protocol desync or shutdown).
+// handleTxn consumes the rest of one v1 transaction's message sequence
+// (one frame per operation), executes it, and replies. It reports
+// whether the connection must be closed (protocol desync or shutdown).
 func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 	asm := wire.NewAssembler(begin)
 	for {
@@ -562,6 +609,7 @@ func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 			}
 			return true
 		}
+		s.framesIn.Add(1)
 		done, err := asm.Feed(m)
 		if err != nil {
 			s.protoErrors.Add(1)
@@ -583,6 +631,30 @@ func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 		return false
 	}
+	return s.execTxn(ss, prog)
+}
+
+// handleProgram executes a v2 whole-program frame — the single-frame
+// equivalent of handleTxn with nothing left to read off the wire.
+func (s *Server) handleProgram(ss *session, bp wire.BeginProgram) (closeConn bool) {
+	if s.isDraining() {
+		ss.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+		return true
+	}
+	prog, err := bp.Program()
+	if err != nil {
+		// The frame was well-formed; only the program was invalid. The
+		// session may submit further transactions.
+		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return false
+	}
+	return s.execTxn(ss, prog)
+}
+
+// execTxn registers prog, drives it to commit with the shared
+// re-execution loop, and sends the verdict. Shared by the v1 per-message
+// and v2 whole-frame paths.
+func (s *Server) execTxn(ss *session, prog *txn.Program) (closeConn bool) {
 	id, err := s.sys.Register(prog)
 	if err != nil {
 		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
@@ -601,7 +673,7 @@ func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 	}()
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
-	err = exec.StepToCommit(ctx, s.sys, id, wake, s.cfg.MaxStepsPerTxn)
+	err = exec.StepToCommitBurst(ctx, s.sys, id, wake, s.cfg.MaxStepsPerTxn, s.cfg.Burst)
 	cancel()
 	switch {
 	case err == nil:

@@ -135,6 +135,83 @@ func TestPipeE2EBanking(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestMixedProtocolClients runs v1 (per-operation frames) and v2
+// (whole-program frames) clients concurrently against one server with
+// burst stepping enabled (run with -race): the per-frame version byte
+// is the whole negotiation, so both populations must commit everything
+// with zero protocol errors, and the v2 population must show up in the
+// inbound frame counter as roughly one frame per transaction.
+func TestMixedProtocolClients(t *testing.T) {
+	const clients, perClient, accounts = 8, 10, 6
+	w := sim.BankingWorkload(accounts, clients*perClient, 100, 77)
+	store := w.NewStore()
+	srv := New(Config{
+		Store:          store,
+		Strategy:       core.MCS,
+		RequestTimeout: 15 * time.Second,
+		Burst:          16,
+	})
+	base := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		progs := w.Programs[i*perClient : (i+1)*perClient]
+		proto := 1 + i%2 // alternate v1 / v2 clients
+		c := pipeClient(srv, client.Config{Seed: int64(i + 1), MaxAttempts: 8, Proto: proto})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for _, p := range progs {
+				if _, err := c.Run(context.Background(), p); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if got := counter(t, srv, "proto_errors"); got != 0 {
+		t.Errorf("proto_errors = %d, want 0", got)
+	}
+	if got := counter(t, srv, "commits"); got != clients*perClient {
+		t.Errorf("commits = %d, want %d", got, clients*perClient)
+	}
+	// Half the transactions arrived as single v2 frames, half as v1
+	// sequences of ops+2 frames each; the blended frames/txn average
+	// must sit strictly between the two pure rates.
+	framesIn := counter(t, srv, "frames_in")
+	served := counter(t, srv, "txns_served")
+	if served != clients*perClient {
+		t.Errorf("txns_served = %d, want %d", served, clients*perClient)
+	}
+	perTxn := float64(framesIn) / float64(served)
+	if perTxn <= 1.0 || perTxn >= 10 {
+		t.Errorf("frames_in/txn = %.2f, want a v1/v2 blend in (1, 10)", perTxn)
+	}
+	if got := counter(t, srv, "writer_flushes"); got <= 0 {
+		t.Errorf("writer_flushes = %d, want > 0", got)
+	}
+	if err := store.CheckConsistent(); err != nil {
+		t.Error(err)
+	}
+	if err := srv.System().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
 // TestGracefulShutdownDrainsInFlight blocks a client transaction on a
 // lock held directly through the engine, starts Shutdown, then releases
 // the lock: the in-flight transaction must commit, Shutdown must return

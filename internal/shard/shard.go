@@ -240,10 +240,11 @@ func remapReport(m map[txn.ID]txn.ID, r *core.DeadlockReport) *core.DeadlockRepo
 // report StatusWaiting and become runnable when an EventAdmit is
 // emitted for them.
 func (e *Engine) Register(prog *txn.Program) (txn.ID, error) {
-	if err := txn.Validate(prog); err != nil {
+	a, err := txn.ValidateAnalyze(prog)
+	if err != nil {
 		return txn.None, err
 	}
-	lockSet := txn.Analyze(prog).LockSet()
+	lockSet := a.LockSet()
 	for _, ent := range lockSet {
 		if !e.store.Exists(ent) {
 			return txn.None, fmt.Errorf("core: program %s locks undefined entity %q", prog.Name, ent)
@@ -515,6 +516,39 @@ func (e *Engine) Step(id txn.ID) (core.StepResult, error) {
 		e.release(id)
 	}
 	return res, nil
+}
+
+// StepBurst executes up to max consecutive atomic operations of id on
+// its shard under a single shard-lock acquisition (see
+// core.System.StepBurst). A transaction still queued for placement is
+// the sharded engine's analogue of a shard handoff in progress: it
+// reports Blocked with zero steps, exactly as Step does. A burst never
+// crosses shards — a transaction is pinned to one shard for its whole
+// life — so no cross-shard lock is ever held.
+func (e *Engine) StepBurst(id txn.ID, max int) (core.StepResult, int, error) {
+	b, placed := e.bindingOf(id)
+	if !placed {
+		e.mu.Lock()
+		_, known := e.meta[id]
+		e.mu.Unlock()
+		if !known {
+			return core.StepResult{}, 0, fmt.Errorf("core: unknown transaction %v", id)
+		}
+		return core.StepResult{Outcome: core.Blocked}, 0, nil
+	}
+	res, steps, err := e.shards[b.shard].StepBurst(b.local, max)
+	if err != nil {
+		return res, steps, err
+	}
+	if res.Deadlock != nil {
+		e.mapMu.RLock()
+		res.Deadlock = remapReport(e.l2g[b.shard], res.Deadlock)
+		e.mapMu.RUnlock()
+	}
+	if res.Outcome == core.Committed {
+		e.release(id)
+	}
+	return res, steps, nil
 }
 
 // Status returns id's execution status; queued transactions are

@@ -62,6 +62,14 @@ type RunConfig struct {
 	// identical to Shards=0 (one shard, identity ID mapping); the
 	// regression tests pin that equivalence.
 	Shards int
+	// Burst selects the stepping call: 0 uses Engine.Step (the original
+	// one-op-per-call path), >= 1 uses Engine.StepBurst with that bound.
+	// Burst=1 is semantically identical to Burst=0 (one operation per
+	// engine acquisition); the regression tests pin that equivalence.
+	// Larger bursts run each scheduled transaction up to Burst
+	// consecutive operations per tick, so schedules coarsen but every
+	// conflict still resolves at operation granularity.
+	Burst int
 }
 
 // Result summarizes one run.
@@ -136,6 +144,19 @@ func Run(w Workload, rc RunConfig) (Result, error) {
 	}
 	rng := rand.New(rand.NewSource(rc.Seed))
 	var steps int64
+	stepOne := func(id txn.ID) error {
+		if rc.Burst >= 1 {
+			_, n, err := sys.StepBurst(id, rc.Burst)
+			if n < 1 {
+				n = 1 // zero-step polls still advance the livelock budget
+			}
+			steps += int64(n)
+			return err
+		}
+		_, err := sys.Step(id)
+		steps++
+		return err
+	}
 	for !sys.AllCommitted() {
 		if steps >= maxSteps {
 			return Result{}, fmt.Errorf("sim: exceeded %d steps on %s (%v/%s)", maxSteps, w.Name, rc.Strategy, policy.Name())
@@ -147,10 +168,9 @@ func Run(w Workload, rc RunConfig) (Result, error) {
 		switch rc.Scheduler {
 		case RandomPick:
 			id := runnable[rng.Intn(len(runnable))]
-			if _, err := sys.Step(id); err != nil {
+			if err := stepOne(id); err != nil {
 				return Result{}, err
 			}
-			steps++
 			if rc.CheckInvariants {
 				if err := sys.CheckInvariants(); err != nil {
 					return Result{}, err
@@ -158,10 +178,9 @@ func Run(w Workload, rc RunConfig) (Result, error) {
 			}
 		default: // RoundRobin
 			for _, id := range runnable {
-				if _, err := sys.Step(id); err != nil {
+				if err := stepOne(id); err != nil {
 					return Result{}, err
 				}
-				steps++
 				if rc.CheckInvariants {
 					if err := sys.CheckInvariants(); err != nil {
 						return Result{}, err

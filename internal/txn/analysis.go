@@ -1,6 +1,9 @@
 package txn
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // LockRequest describes one lock request site in a program.
 type LockRequest struct {
@@ -59,47 +62,33 @@ type Analysis struct {
 }
 
 // Analyze computes the static Analysis for p. The program is assumed
-// valid (see Validate).
+// valid (see Validate); on an invalid program the returned analysis is
+// best-effort. It is a thin wrapper over ValidateAnalyze.
 func Analyze(p *Program) *Analysis {
+	a, _ := ValidateAnalyze(p)
+	return a
+}
+
+// ValidateAnalyze checks p against the §2 static rules (see Validate
+// for the full list) and computes its Analysis in the same traversal of
+// p.Ops — registration used to walk the program twice (validate, then
+// analyze), now it walks once. Lock holdings are tracked in a small
+// slice instead of a map, and expression references are checked by
+// walking the tree directly instead of materializing a reference list,
+// so validation itself stays off the allocator for typical programs.
+//
+// The analysis is always returned, complete to the extent the program
+// allows; the error is the first rule violation, exactly as Validate
+// reports it.
+func ValidateAnalyze(p *Program) (*Analysis, error) {
 	a := &Analysis{
 		LockIndexOf:         make([]int, len(p.Ops)),
 		EntityLockIndex:     map[string]int{},
 		FirstWriteLockIndex: map[string]int{},
 		WriteLockIndexes:    map[string][]int{},
+		OpLocalSlot:         make([]int, len(p.Ops)),
+		OpTarget:            make([]string, len(p.Ops)),
 	}
-	li := 0
-	for i, o := range p.Ops {
-		a.LockIndexOf[i] = li
-		switch o.Kind {
-		case OpLockS, OpLockX:
-			a.Requests = append(a.Requests, LockRequest{
-				OpIndex:   i,
-				Entity:    o.Entity,
-				Exclusive: o.Kind == OpLockX,
-				LockIndex: li,
-			})
-			a.EntityLockIndex[o.Entity] = li
-			li++
-		case OpWrite:
-			a.noteWrite(o.Entity, li)
-		case OpRead:
-			// A read assigns its destination local: it is a local write
-			// for rollback purposes.
-			a.noteWrite(o.Local, li)
-		case OpCompute:
-			a.noteWrite(o.Local, li)
-		}
-	}
-	for _, idxs := range a.WriteLockIndexes {
-		sort.Ints(idxs)
-	}
-	a.buildPlan(p)
-	return a
-}
-
-// buildPlan resolves locals to dense slots — the static half of the
-// allocation-free execution path.
-func (a *Analysis) buildPlan(p *Program) {
 	a.LocalNames = make([]string, 0, len(p.Locals))
 	for name := range p.Locals {
 		a.LocalNames = append(a.LocalNames, name)
@@ -111,22 +100,136 @@ func (a *Analysis) buildPlan(p *Program) {
 		a.LocalSlot[name] = s
 		a.InitLocals[s] = p.Locals[name]
 	}
-	a.OpLocalSlot = make([]int, len(p.Ops))
-	a.OpTarget = make([]string, len(p.Ops))
+
+	var firstErr error
+	if p.Name == "" {
+		firstErr = fmt.Errorf("txn: program must have a name")
+	}
+	// held tracks current lock holdings as a slice: programs lock a
+	// handful of entities, so a linear scan beats a map and allocates
+	// nothing beyond the one backing array.
+	type heldLock struct {
+		entity string
+		kind   OpKind
+	}
+	held := make([]heldLock, 0, 8)
+	findHeld := func(entity string) int {
+		for k := range held {
+			if held[k].entity == entity {
+				return k
+			}
+		}
+		return -1
+	}
+	unlocked := false
+	declaredLast := false
+	seenLock := false
+	li := 0
 	for i, o := range p.Ops {
+		fail := func(format string, args ...any) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("txn %s: op %d (%s): %s", p.Name, i, o, fmt.Sprintf(format, args...))
+			}
+		}
+		a.LockIndexOf[i] = li
 		a.OpLocalSlot[i] = -1
 		if o.Local != "" {
 			if s, ok := a.LocalSlot[o.Local]; ok {
 				a.OpLocalSlot[i] = s
 			}
 		}
+		if i != len(p.Ops)-1 && o.Kind == OpCommit {
+			fail("Commit before end of program")
+		}
 		switch o.Kind {
-		case OpWrite:
-			a.OpTarget[i] = "e:" + o.Entity
-		case OpRead, OpCompute:
+		case OpLockS, OpLockX:
+			if unlocked {
+				fail("lock request after unlock violates two-phase rule")
+			}
+			if _, clash := p.Locals[o.Entity]; clash {
+				// Analysis tracks write targets by name; entity and
+				// local namespaces must therefore be disjoint.
+				fail("entity %q collides with a local variable name", o.Entity)
+			}
+			if declaredLast {
+				fail("lock request after DeclareLastLock")
+			}
+			if findHeld(o.Entity) >= 0 {
+				fail("entity %q already locked", o.Entity)
+			}
+			if o.Entity == "" {
+				fail("lock request without entity")
+			}
+			held = append(held, heldLock{entity: o.Entity, kind: o.Kind})
+			seenLock = true
+			a.Requests = append(a.Requests, LockRequest{
+				OpIndex:   i,
+				Entity:    o.Entity,
+				Exclusive: o.Kind == OpLockX,
+				LockIndex: li,
+			})
+			a.EntityLockIndex[o.Entity] = li
+			li++
+		case OpUnlock:
+			if k := findHeld(o.Entity); k < 0 {
+				fail("unlock of entity %q not held", o.Entity)
+			} else {
+				held = append(held[:k], held[k+1:]...)
+			}
+			unlocked = true
+		case OpRead:
+			if findHeld(o.Entity) < 0 {
+				fail("read of unlocked entity %q", o.Entity)
+			}
+			if _, ok := p.Locals[o.Local]; !ok {
+				fail("read into undeclared local %q", o.Local)
+			}
+			// A read assigns its destination local: it is a local write
+			// for rollback purposes.
+			a.noteWrite(o.Local, li)
 			a.OpTarget[i] = "l:" + o.Local
+		case OpWrite:
+			if !seenLock {
+				fail("write before first lock request")
+			}
+			if k := findHeld(o.Entity); k < 0 || held[k].kind != OpLockX {
+				fail("write to entity %q requires a held exclusive lock", o.Entity)
+			}
+			if err := checkRefs(p, o.Expr); err != nil {
+				fail("%v", err)
+			}
+			a.noteWrite(o.Entity, li)
+			a.OpTarget[i] = "e:" + o.Entity
+		case OpCompute:
+			if !seenLock {
+				fail("compute before first lock request")
+			}
+			if _, ok := p.Locals[o.Local]; !ok {
+				fail("compute into undeclared local %q", o.Local)
+			}
+			if err := checkRefs(p, o.Expr); err != nil {
+				fail("%v", err)
+			}
+			a.noteWrite(o.Local, li)
+			a.OpTarget[i] = "l:" + o.Local
+		case OpDeclareLastLock:
+			if declaredLast {
+				fail("DeclareLastLock repeated")
+			}
+			declaredLast = true
+		case OpCommit:
+			// position checked above
+		default:
+			fail("unknown op kind")
 		}
 	}
+	if firstErr == nil && (len(p.Ops) == 0 || p.Ops[len(p.Ops)-1].Kind != OpCommit) {
+		firstErr = fmt.Errorf("txn %s: program must end with Commit", p.Name)
+	}
+	for _, idxs := range a.WriteLockIndexes {
+		sort.Ints(idxs)
+	}
+	return a, firstErr
 }
 
 func (a *Analysis) noteWrite(target string, li int) {

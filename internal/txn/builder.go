@@ -116,102 +116,39 @@ func (b *Builder) MustBuild() *Program {
 //     (§4's simplifying assumption);
 //   - nothing but Commit follows once DeclareLastLock is emitted except
 //     reads, writes, computes and unlocks (no lock requests).
+//
+// Validate is a thin wrapper over ValidateAnalyze, which checks these
+// rules and computes the program's static Analysis in one traversal.
 func Validate(p *Program) error {
-	if p.Name == "" {
-		return fmt.Errorf("txn: program must have a name")
-	}
-	held := map[string]OpKind{} // entity -> lock kind
-	unlocked := false
-	declaredLast := false
-	seenLock := false
-	for i, o := range p.Ops {
-		fail := func(format string, args ...any) error {
-			return fmt.Errorf("txn %s: op %d (%s): %s", p.Name, i, o, fmt.Sprintf(format, args...))
-		}
-		if i != len(p.Ops)-1 && o.Kind == OpCommit {
-			return fail("Commit before end of program")
-		}
-		switch o.Kind {
-		case OpLockS, OpLockX:
-			if unlocked {
-				return fail("lock request after unlock violates two-phase rule")
-			}
-			if _, clash := p.Locals[o.Entity]; clash {
-				// Analysis tracks write targets by name; entity and
-				// local namespaces must therefore be disjoint.
-				return fail("entity %q collides with a local variable name", o.Entity)
-			}
-			if declaredLast {
-				return fail("lock request after DeclareLastLock")
-			}
-			if _, dup := held[o.Entity]; dup {
-				return fail("entity %q already locked", o.Entity)
-			}
-			if o.Entity == "" {
-				return fail("lock request without entity")
-			}
-			held[o.Entity] = o.Kind
-			seenLock = true
-		case OpUnlock:
-			k, ok := held[o.Entity]
-			if !ok {
-				return fail("unlock of entity %q not held", o.Entity)
-			}
-			_ = k
-			delete(held, o.Entity)
-			unlocked = true
-		case OpRead:
-			if _, ok := held[o.Entity]; !ok {
-				return fail("read of unlocked entity %q", o.Entity)
-			}
-			if _, ok := p.Locals[o.Local]; !ok {
-				return fail("read into undeclared local %q", o.Local)
-			}
-		case OpWrite:
-			if !seenLock {
-				return fail("write before first lock request")
-			}
-			if k, ok := held[o.Entity]; !ok || k != OpLockX {
-				return fail("write to entity %q requires a held exclusive lock", o.Entity)
-			}
-			if err := checkRefs(p, o.Expr); err != nil {
-				return fail("%v", err)
-			}
-		case OpCompute:
-			if !seenLock {
-				return fail("compute before first lock request")
-			}
-			if _, ok := p.Locals[o.Local]; !ok {
-				return fail("compute into undeclared local %q", o.Local)
-			}
-			if err := checkRefs(p, o.Expr); err != nil {
-				return fail("%v", err)
-			}
-		case OpDeclareLastLock:
-			if declaredLast {
-				return fail("DeclareLastLock repeated")
-			}
-			declaredLast = true
-		case OpCommit:
-			// position checked above
-		default:
-			return fail("unknown op kind")
-		}
-	}
-	if len(p.Ops) == 0 || p.Ops[len(p.Ops)-1].Kind != OpCommit {
-		return fmt.Errorf("txn %s: program must end with Commit", p.Name)
-	}
-	return nil
+	_, err := ValidateAnalyze(p)
+	return err
 }
 
+// checkRefs verifies an expression references only declared locals,
+// walking the tree directly so well-formed expressions cost no
+// allocation (Expr.Refs would materialize the reference list).
 func checkRefs(p *Program, e value.Expr) error {
-	if e == nil {
+	switch x := e.(type) {
+	case nil:
 		return fmt.Errorf("missing expression")
-	}
-	for _, r := range e.Refs(nil) {
-		if _, ok := p.Locals[r]; !ok {
-			return fmt.Errorf("expression references undeclared local %q", r)
+	case value.Const:
+		return nil
+	case value.Local:
+		if _, ok := p.Locals[string(x)]; !ok {
+			return fmt.Errorf("expression references undeclared local %q", string(x))
 		}
+		return nil
+	case value.Binary:
+		if err := checkRefs(p, x.L); err != nil {
+			return err
+		}
+		return checkRefs(p, x.R)
+	default:
+		for _, r := range e.Refs(nil) {
+			if _, ok := p.Locals[r]; !ok {
+				return fmt.Errorf("expression references undeclared local %q", r)
+			}
+		}
+		return nil
 	}
-	return nil
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
 )
 
 // FuzzDecode throws arbitrary payloads at the decoder: it must never
@@ -21,6 +24,20 @@ func FuzzDecode(f *testing.F) {
 		RolledBack{Txn: 1, Lost: 4},
 		Error{Code: CodeBusy, Msg: "full"},
 		StatsReply{Counters: []Counter{{"grants", 2}}},
+		BeginProgram{Name: "P"},
+		BeginProgram{
+			Name:   "xfer",
+			Locals: []LocalDecl{{"t", 0}},
+			Ops: []txn.Op{
+				{Kind: txn.OpLockX, Entity: "e0"},
+				{Kind: txn.OpRead, Entity: "e0", Local: "t"},
+				{Kind: txn.OpCompute, Local: "t", Expr: value.Add(value.L("t"), value.C(1))},
+				{Kind: txn.OpDeclareLastLock},
+				{Kind: txn.OpWrite, Entity: "e0", Expr: value.L("t")},
+				{Kind: txn.OpUnlock, Entity: "e0"},
+				{Kind: txn.OpCommit},
+			},
+		},
 	}
 	for _, m := range seed {
 		frame, err := Encode(m)
@@ -30,6 +47,11 @@ func FuzzDecode(f *testing.F) {
 		f.Add(frame[4:])
 	}
 	f.Add([]byte{Version, byte(TWrite), 1, 'e', 2, 0, 1, 0, 1})
+	// Hand-built v2 edges: an op list claiming more ops than present, a
+	// v1 type under a v2 version byte, and a truncated op tag.
+	f.Add([]byte{Version2, byte(TBeginProgram), 1, 'P', 0, 5, byte(TCommit)})
+	f.Add([]byte{Version2, byte(TLock), 0, 'e'})
+	f.Add([]byte{Version2, byte(TBeginProgram), 1, 'P', 0, 1})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m, err := Decode(payload)
 		if err != nil {
@@ -59,6 +81,13 @@ func FuzzReadMsg(f *testing.F) {
 	f.Add(frame)
 	f.Add(append(frame, frame...))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	v2, err := Encode(BeginProgram{Name: "P", Ops: []txn.Op{
+		{Kind: txn.OpLockS, Entity: "e0"}, {Kind: txn.OpCommit}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(append(append([]byte{}, frame...), v2...)) // mixed v1+v2 stream
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		r := bytes.NewReader(stream)
 		for {

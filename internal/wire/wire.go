@@ -17,6 +17,13 @@
 // frame. Stats may be sent between transactions and is answered with a
 // StatsReply counter snapshot.
 //
+// Protocol v2 adds BeginProgram: the entire program (Begin + operations
+// + Commit) in one frame, so a transaction costs one frame read and one
+// decode instead of one per operation. Versioning is per-frame — the
+// version byte of each frame declares what it carries — so v1 and v2
+// clients coexist on one server with no handshake, and server replies
+// are v1 either way.
+//
 // Everything decoded from the network is bounds-checked: frame size,
 // string length, op and local counts, and expression size/depth all
 // have hard limits, so a malicious or corrupted peer cannot force large
@@ -34,9 +41,18 @@ import (
 	"partialrollback/internal/value"
 )
 
-// Version is the protocol version this package speaks. A frame carrying
+// Version is the base protocol version. Every message defined by
+// protocol v1 is framed with this version byte, and a v1 frame carrying
 // any other version byte is rejected.
 const Version byte = 1
+
+// Version2 extends v1 with the BeginProgram frame, which ships a whole
+// transaction program in one frame instead of one message per
+// operation. Negotiation is per-frame: the version byte of each frame
+// declares what it carries, so a v2 client needs no handshake and v1
+// traffic (including every server reply) is unchanged. Only
+// BeginProgram frames carry this version byte.
+const Version2 byte = 2
 
 // Limits enforced during decoding.
 const (
@@ -61,19 +77,21 @@ type Type byte
 
 // Message types. 1-15 are client->server, 16+ are server->client.
 const (
-	TBegin      Type = 1
-	TLock       Type = 2
-	TUnlock     Type = 3
-	TRead       Type = 4
-	TWrite      Type = 5
-	TCompute    Type = 6
-	TLastLock   Type = 7
-	TCommit     Type = 8
-	TStats      Type = 9
-	TCommitted  Type = 16
-	TRolledBack Type = 17
-	TError      Type = 18
-	TStatsReply Type = 19
+	TBegin    Type = 1
+	TLock     Type = 2
+	TUnlock   Type = 3
+	TRead     Type = 4
+	TWrite    Type = 5
+	TCompute  Type = 6
+	TLastLock Type = 7
+	TCommit   Type = 8
+	TStats    Type = 9
+	// TBeginProgram is the v2 whole-program frame (see BeginProgram).
+	TBeginProgram Type = 10
+	TCommitted    Type = 16
+	TRolledBack   Type = 17
+	TError        Type = 18
+	TStatsReply   Type = 19
 )
 
 func (t Type) String() string {
@@ -96,6 +114,8 @@ func (t Type) String() string {
 		return "commit"
 	case TStats:
 		return "stats"
+	case TBeginProgram:
+		return "begin-program"
 	case TCommitted:
 		return "committed"
 	case TRolledBack:
@@ -203,6 +223,19 @@ type Compute struct {
 // LastLock is the §5 declaration that no lock requests follow.
 type LastLock struct{}
 
+// BeginProgram is the v2 whole-transaction frame: name, local
+// declarations and the complete operation list in one message, so a
+// transaction costs one frame read and one decode instead of one per
+// operation. It is framed with Version2; everything else on the
+// connection (including replies) stays v1. Ops reuse the v1 message
+// type bytes as operation tags, each followed by the same body encoding
+// as the corresponding per-operation message.
+type BeginProgram struct {
+	Name   string
+	Locals []LocalDecl
+	Ops    []txn.Op
+}
+
 // Commit ends the program and asks the server to execute it.
 type Commit struct{}
 
@@ -271,6 +304,9 @@ func (LastLock) Type() Type { return TLastLock }
 
 // Type implements Msg.
 func (Commit) Type() Type { return TCommit }
+
+// Type implements Msg.
+func (BeginProgram) Type() Type { return TBeginProgram }
 
 // Type implements Msg.
 func (Stats) Type() Type { return TStats }
@@ -451,6 +487,87 @@ func (d *decoder) locals(max int) ([]LocalDecl, error) {
 	return out, nil
 }
 
+// ops decodes a BeginProgram operation list. Each operation gets the
+// same expression budget a standalone v1 message would, so shipping a
+// program in one frame does not tighten (or loosen) the per-operation
+// limits.
+func (d *decoder) ops(max int) ([]txn.Op, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) {
+		return nil, protoErr("%d ops exceeds %d", n, max)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]txn.Op, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tag, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		var op txn.Op
+		switch Type(tag) {
+		case TLock:
+			mode, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if mode > 1 {
+				return nil, protoErr("unknown lock mode %d", mode)
+			}
+			op.Kind = txn.OpLockS
+			if mode == 1 {
+				op.Kind = txn.OpLockX
+			}
+			if op.Entity, err = d.string(); err != nil {
+				return nil, err
+			}
+		case TUnlock:
+			op.Kind = txn.OpUnlock
+			if op.Entity, err = d.string(); err != nil {
+				return nil, err
+			}
+		case TRead:
+			op.Kind = txn.OpRead
+			if op.Entity, err = d.string(); err != nil {
+				return nil, err
+			}
+			if op.Local, err = d.string(); err != nil {
+				return nil, err
+			}
+		case TWrite:
+			op.Kind = txn.OpWrite
+			if op.Entity, err = d.string(); err != nil {
+				return nil, err
+			}
+			budget := MaxExprNodes
+			if op.Expr, err = d.expr(0, &budget); err != nil {
+				return nil, err
+			}
+		case TCompute:
+			op.Kind = txn.OpCompute
+			if op.Local, err = d.string(); err != nil {
+				return nil, err
+			}
+			budget := MaxExprNodes
+			if op.Expr, err = d.expr(0, &budget); err != nil {
+				return nil, err
+			}
+		case TLastLock:
+			op.Kind = txn.OpDeclareLastLock
+		case TCommit:
+			op.Kind = txn.OpCommit
+		default:
+			return nil, protoErr("unknown op tag %d", tag)
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
 func (d *decoder) done() error {
 	if len(d.b) != 0 {
 		return protoErr("%d trailing bytes", len(d.b))
@@ -462,7 +579,20 @@ func (d *decoder) done() error {
 
 // Encode serializes m into a complete frame (length prefix included).
 func Encode(m Msg) ([]byte, error) {
-	body := []byte{0, 0, 0, 0, Version, byte(m.Type())}
+	return AppendMsg(nil, m)
+}
+
+// AppendMsg appends m's complete frame (length prefix included) to dst
+// and returns the extended slice. It is Encode without the allocation:
+// a batching writer encodes many frames into one reused buffer and
+// issues a single write.
+func AppendMsg(dst []byte, m Msg) ([]byte, error) {
+	ver := Version
+	if m.Type() == TBeginProgram {
+		ver = Version2
+	}
+	start := len(dst)
+	body := append(dst, 0, 0, 0, 0, ver, byte(m.Type()))
 	var err error
 	switch x := m.(type) {
 	case Begin:
@@ -496,6 +626,19 @@ func Encode(m Msg) ([]byte, error) {
 		}
 	case LastLock, Commit, Stats:
 		// no body
+	case BeginProgram:
+		body = appendString(body, x.Name)
+		body = appendUvarint(body, uint64(len(x.Locals)))
+		for _, l := range x.Locals {
+			body = appendString(body, l.Name)
+			body = appendVarint(body, l.Val)
+		}
+		body = appendUvarint(body, uint64(len(x.Ops)))
+		for _, op := range x.Ops {
+			if body, err = appendOp(body, op); err != nil {
+				return nil, err
+			}
+		}
 	case Committed:
 		body = appendVarint(body, x.Txn)
 		body = appendUvarint(body, uint64(len(x.Locals)))
@@ -526,12 +669,38 @@ func Encode(m Msg) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message type %T", m)
 	}
-	payload := len(body) - 4
+	payload := len(body) - start - 4
 	if payload > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", payload)
 	}
-	binary.BigEndian.PutUint32(body[:4], uint32(payload))
+	binary.BigEndian.PutUint32(body[start:start+4], uint32(payload))
 	return body, nil
+}
+
+// appendOp encodes one program operation for a BeginProgram body: the
+// v1 message type byte as tag, then the same field encoding as the
+// corresponding per-operation message.
+func appendOp(b []byte, op txn.Op) ([]byte, error) {
+	switch op.Kind {
+	case txn.OpLockS:
+		return appendString(append(b, byte(TLock), 0), op.Entity), nil
+	case txn.OpLockX:
+		return appendString(append(b, byte(TLock), 1), op.Entity), nil
+	case txn.OpUnlock:
+		return appendString(append(b, byte(TUnlock)), op.Entity), nil
+	case txn.OpRead:
+		return appendString(appendString(append(b, byte(TRead)), op.Entity), op.Local), nil
+	case txn.OpWrite:
+		return appendExpr(appendString(append(b, byte(TWrite)), op.Entity), op.Expr)
+	case txn.OpCompute:
+		return appendExpr(appendString(append(b, byte(TCompute)), op.Local), op.Expr)
+	case txn.OpDeclareLastLock:
+		return append(b, byte(TLastLock)), nil
+	case txn.OpCommit:
+		return append(b, byte(TCommit)), nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode op kind %v", op.Kind)
+	}
 }
 
 // WriteMsg frames and writes m, returning the bytes written.
@@ -549,8 +718,17 @@ func Decode(payload []byte) (Msg, error) {
 	if len(payload) < 2 {
 		return nil, protoErr("payload of %d bytes", len(payload))
 	}
-	if payload[0] != Version {
-		return nil, protoErr("version %d, want %d", payload[0], Version)
+	switch payload[0] {
+	case Version:
+		if Type(payload[1]) == TBeginProgram {
+			return nil, protoErr("%s requires a version-%d frame", TBeginProgram, Version2)
+		}
+	case Version2:
+		if Type(payload[1]) != TBeginProgram {
+			return nil, protoErr("version-%d frame carries %s, only %s allowed", Version2, Type(payload[1]), TBeginProgram)
+		}
+	default:
+		return nil, protoErr("version %d, want %d or %d", payload[0], Version, Version2)
 	}
 	d := &decoder{b: payload[2:]}
 	var m Msg
@@ -620,6 +798,18 @@ func Decode(payload []byte) (Msg, error) {
 		m = Commit{}
 	case TStats:
 		m = Stats{}
+	case TBeginProgram:
+		var x BeginProgram
+		if x.Name, err = d.string(); err != nil {
+			return nil, err
+		}
+		if x.Locals, err = d.locals(MaxLocals); err != nil {
+			return nil, err
+		}
+		if x.Ops, err = d.ops(MaxOps); err != nil {
+			return nil, err
+		}
+		m = x
 	case TCommitted:
 		var x Committed
 		if x.Txn, err = d.varint(); err != nil {
@@ -746,6 +936,58 @@ func ProgramMsgs(p *txn.Program) ([]Msg, error) {
 		}
 	}
 	return out, nil
+}
+
+// ProgramFrame translates a transaction program into the single v2
+// BeginProgram frame — the batched alternative to ProgramMsgs. Locals
+// are emitted in sorted order so equal programs encode identically.
+func ProgramFrame(p *txn.Program) (BeginProgram, error) {
+	if len(p.Ops) > MaxOps {
+		return BeginProgram{}, fmt.Errorf("wire: program of %d ops exceeds %d", len(p.Ops), MaxOps)
+	}
+	locals := make([]LocalDecl, 0, len(p.Locals))
+	for name, v := range p.Locals {
+		locals = append(locals, LocalDecl{Name: name, Val: v})
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i].Name < locals[j].Name })
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case txn.OpLockS, txn.OpLockX, txn.OpUnlock, txn.OpRead, txn.OpWrite,
+			txn.OpCompute, txn.OpDeclareLastLock, txn.OpCommit:
+		default:
+			return BeginProgram{}, fmt.Errorf("wire: cannot encode op kind %v", op.Kind)
+		}
+	}
+	return BeginProgram{Name: p.Name, Locals: locals, Ops: p.Ops}, nil
+}
+
+// Program validates and returns the shipped program — the whole-frame
+// equivalent of feeding an Assembler and calling its Program. The same
+// §2 static rules apply; a missing trailing Commit is appended exactly
+// as txn.Builder.Build would.
+func (bp BeginProgram) Program() (*txn.Program, error) {
+	if len(bp.Locals) > MaxLocals {
+		return nil, protoErr("%d locals exceeds %d", len(bp.Locals), MaxLocals)
+	}
+	if len(bp.Ops) > MaxOps {
+		return nil, protoErr("program exceeds %d operations", MaxOps)
+	}
+	p := &txn.Program{Name: bp.Name, Locals: make(map[string]int64, len(bp.Locals))}
+	for _, l := range bp.Locals {
+		if _, dup := p.Locals[l.Name]; dup {
+			return nil, fmt.Errorf("txn %s: local %q declared twice", bp.Name, l.Name)
+		}
+		p.Locals[l.Name] = l.Val
+	}
+	p.Ops = make([]txn.Op, len(bp.Ops), len(bp.Ops)+1)
+	copy(p.Ops, bp.Ops)
+	if n := len(p.Ops); n == 0 || p.Ops[n-1].Kind != txn.OpCommit {
+		p.Ops = append(p.Ops, txn.Op{Kind: txn.OpCommit})
+	}
+	if err := txn.Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Assembler rebuilds a transaction program from its protocol messages.

@@ -114,6 +114,143 @@ func TestProgramRoundTrip(t *testing.T) {
 	}
 }
 
+// TestProgramFrameRoundTrip pins the v2 path end to end: ProgramFrame →
+// encode → decode → Program must reproduce every program byte-for-byte,
+// and agree exactly with what the v1 Assembler path reconstructs.
+func TestProgramFrameRoundTrip(t *testing.T) {
+	progs := []*txn.Program{
+		sim.TransferProgram("xfer", "e0", "e1", 5, 3),
+		txn.NewProgram("mix").
+			Local("x", 2).Local("y", 0).
+			LockS("e0").Read("e0", "x").
+			LockX("e1").Read("e1", "y").
+			Compute("y", value.Max(value.L("x"), value.L("y"))).
+			DeclareLastLock().
+			Write("e1", value.Add(value.L("y"), value.C(1))).
+			Unlock("e1").
+			MustBuild(),
+	}
+	progs = append(progs, sim.Generate(sim.GenConfig{Txns: 6, Seed: 11, Shape: sim.Mixed, SharedProb: 0.3}).Programs...)
+	for _, p := range progs {
+		frame, err := ProgramFrame(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got := roundTrip(t, frame)
+		bp, ok := got.(BeginProgram)
+		if !ok {
+			t.Fatalf("%s: round trip returned %T", p.Name, got)
+		}
+		if !reflect.DeepEqual(bp, frame) {
+			t.Errorf("%s: frame round trip mismatch:\n got %#v\nwant %#v", p.Name, bp, frame)
+		}
+		rebuilt, err := bp.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(rebuilt, p) {
+			t.Errorf("%s: program mismatch:\n got %v\nwant %v", p.Name, rebuilt, p)
+		}
+	}
+}
+
+// TestVersionNegotiation pins the per-frame version rules: BeginProgram
+// only decodes under Version2, every other type only under Version, and
+// unknown versions are rejected.
+func TestVersionNegotiation(t *testing.T) {
+	frame, err := Encode(BeginProgram{Name: "P", Ops: []txn.Op{{Kind: txn.OpCommit}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[4] != Version2 {
+		t.Fatalf("BeginProgram frame carries version %d, want %d", frame[4], Version2)
+	}
+	// Same payload demoted to v1 must be rejected.
+	demoted := append([]byte{}, frame[4:]...)
+	demoted[0] = Version
+	if _, err := Decode(demoted); err == nil {
+		t.Error("v1-framed BeginProgram decoded; want rejection")
+	}
+	// A v1 message promoted to v2 must be rejected.
+	lockFrame, err := Encode(Lock{Entity: "e0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockFrame[4] != Version {
+		t.Fatalf("Lock frame carries version %d, want %d", lockFrame[4], Version)
+	}
+	promoted := append([]byte{}, lockFrame[4:]...)
+	promoted[0] = Version2
+	if _, err := Decode(promoted); err == nil {
+		t.Error("v2-framed Lock decoded; want rejection")
+	}
+	unknown := append([]byte{}, lockFrame[4:]...)
+	unknown[0] = 9
+	if _, err := Decode(unknown); err == nil {
+		t.Error("version-9 frame decoded; want rejection")
+	}
+}
+
+// TestAppendMsgBatches pins the batching encoder: frames appended to
+// one buffer must byte-match their individual encodings and decode as a
+// stream.
+func TestAppendMsgBatches(t *testing.T) {
+	msgs := []Msg{
+		Committed{Txn: 1, Locals: []LocalDecl{{"a", 9}}},
+		RolledBack{Txn: 1, Lost: 2},
+		Error{Code: CodeBusy, Msg: "full"},
+	}
+	var batch, concat []byte
+	for _, m := range msgs {
+		var err error
+		if batch, err = AppendMsg(batch, m); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat = append(concat, frame...)
+	}
+	if !bytes.Equal(batch, concat) {
+		t.Fatalf("batched encoding diverges from per-frame encoding")
+	}
+	r := bytes.NewReader(batch)
+	for i, want := range msgs {
+		got, _, err := ReadMsg(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %#v, want %#v", i, got, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes after batch", r.Len())
+	}
+}
+
+// TestBeginProgramRejectsInvalid mirrors TestAssemblerRejectsInvalid
+// for the v2 path: a protocol-valid frame carrying an invalid program
+// must fail at Program(), not decode.
+func TestBeginProgramRejectsInvalid(t *testing.T) {
+	bad := []BeginProgram{
+		// Write without a lock.
+		{Name: "bad", Locals: []LocalDecl{{"x", 0}},
+			Ops: []txn.Op{{Kind: txn.OpWrite, Entity: "e0", Expr: value.C(1)}, {Kind: txn.OpCommit}}},
+		// Duplicate local declaration.
+		{Name: "dup", Locals: []LocalDecl{{"x", 0}, {"x", 1}}},
+		// Mid-program commit.
+		{Name: "mid", Ops: []txn.Op{{Kind: txn.OpCommit}, {Kind: txn.OpLockS, Entity: "e0"}}},
+	}
+	for _, bp := range bad {
+		got := roundTrip(t, bp) // stays protocol-valid on the wire
+		if _, err := got.(BeginProgram).Program(); err == nil {
+			t.Errorf("%s: invalid program accepted", bp.Name)
+		}
+	}
+}
+
 func TestAssemblerRejectsInvalid(t *testing.T) {
 	// Write without a lock: protocol-valid messages, invalid program.
 	a := NewAssembler(Begin{Name: "bad", Locals: []LocalDecl{{"x", 0}}})

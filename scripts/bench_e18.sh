@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# E18 end-to-end batching sweep: drive the network server with prload
+# over the hotspot workload for every combination of
+#
+#   burst  in {1, 4, 16, 64}   (prserver -burst: steps per mutex grab)
+#   shards in {1, 4}           (prserver -shards)
+#   proto  in {1, 2}           (prload -proto: per-op frames vs one
+#                               BeginProgram frame per transaction)
+#
+# and print one JSON result per configuration. burst=1 proto=1 is the
+# baseline (the pre-batching request path, byte-identical per the
+# regression tests). Trials are interleaved — each round visits every
+# configuration once — so thermal/load drift hits all configurations
+# alike. Run from the repository root:
+#
+#   ./scripts/bench_e18.sh [outdir]
+#
+# The committed BENCH_E18.json records one such run (see EXPERIMENTS.md,
+# E18). Numbers are machine-dependent — only ratios measured
+# back-to-back on one machine are meaningful.
+set -eu
+
+OUT=${1:-/tmp/bench_e18}
+PORT=${PORT:-7715}
+TRIALS=${TRIALS:-3}
+mkdir -p "$OUT"
+
+go build -o "$OUT/prserver" ./cmd/prserver
+go build -o "$OUT/prload" ./cmd/prload
+
+run_one() {
+    burst=$1; sh=$2; proto=$3; trial=$4
+    port=$((PORT + trial))
+    "$OUT/prserver" -addr 127.0.0.1:$port -strategy mcs -entities 64 \
+        -accounts 16 -shards "$sh" -burst "$burst" >/dev/null 2>&1 &
+    spid=$!
+    sleep 0.7
+    f="$OUT/b${burst}_s${sh}_p${proto}_r${trial}.json"
+    "$OUT/prload" -addr 127.0.0.1:$port -clients 8 -txns 600 \
+        -workload hotspot -db 64 -hot 8 -hotprob 0.8 -locks 4 \
+        -seed 1 -proto "$proto" -json "$f" >/dev/null
+    kill $spid 2>/dev/null || true
+    wait $spid 2>/dev/null || true
+    echo "burst=$burst shards=$sh proto=$proto trial=$trial:" \
+        "$(grep -o '"throughputTxnPerSec": [0-9.]*' "$f")" \
+        "$(grep -o '"wireFramesPerTxn": [0-9.]*' "$f")"
+}
+
+t=1
+while [ "$t" -le "$TRIALS" ]; do
+    for sh in 1 4; do
+        for burst in 1 4 16 64; do
+            for proto in 1 2; do
+                run_one "$burst" "$sh" "$proto" "$t"
+            done
+        done
+    done
+    t=$((t + 1))
+done
+
+echo "results in $OUT"

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Benchmark smoke test: run every micro-benchmark exactly once under
 # the race detector, plus the zero-allocation regression tests that pin
-# the hot path's alloc-freedom. This does not measure anything — it
+# the hot path's alloc-freedom (including the StepBurst path, covered
+# by TestStepBurstZeroAlloc and BenchmarkStepBurst in internal/core).
+# This does not measure anything — it
 # proves the benchmark code itself still builds and runs (benchmarks
 # are skipped by plain `go test`, so they otherwise rot). Run from the
 # repository root:

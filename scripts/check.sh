@@ -18,6 +18,12 @@ go test -race ./...
 go test -race -count=1 ./internal/shard/
 go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnshardedRegression' ./internal/sim/
 
+# Burst stepping's correctness surface, likewise explicit: the burst=1
+# byte-identity regression, the serializability property sweep at every
+# burst level, and the mixed-protocol (v1 + v2 frames) server test.
+go test -race -count=1 -run 'TestBurstOneIsStepRegression|TestBurstPropertySerializable' ./internal/sim/
+go test -race -count=1 -run 'TestMixedProtocolClients' ./internal/server/
+
 # Micro-benchmarks: one race-enabled iteration each, plus the
 # zero-allocation regression tests, so benchmark code cannot rot.
 ./scripts/bench_smoke.sh
