@@ -11,7 +11,14 @@
 //	          ("e0".."eN-1") with a skewed hot set, the contention
 //	          pattern of the paper's §5 experiments;
 //	banking — sim.BankingWorkload transfers over "acct0".."acctM-1"
-//	          (the server guards these with a sum invariant).
+//	          (the server guards these with a sum invariant);
+//	counter — sim.CounterWorkload single-entity increments over
+//	          "e0".."e{counters-1}", the crash-recovery harness's unit
+//	          of account (one acknowledged commit = +1 to the sum).
+//
+// With -verify-sum-min N the load loop is replaced by a single
+// shared-lock transaction summing the counter entities; the run fails
+// unless the sum is at least N (see scripts/smoke_recovery.sh).
 //
 // Usage:
 //
@@ -43,7 +50,7 @@ var (
 	addr     = flag.String("addr", "127.0.0.1:7415", "server address")
 	clients  = flag.Int("clients", 8, "concurrent client connections")
 	txnsPer  = flag.Int("txns", 50, "transactions per client")
-	workload = flag.String("workload", "hotspot", "workload: hotspot|banking")
+	workload = flag.String("workload", "hotspot", "workload: hotspot|banking|counter")
 	db       = flag.Int("db", 64, "hotspot: number of entities (must be <= server -entities)")
 	hot      = flag.Int("hot", 8, "hotspot: hot-set size (0 disables skew)")
 	hotProb  = flag.Float64("hotprob", 0.8, "hotspot: probability a lock hits the hot set")
@@ -53,6 +60,9 @@ var (
 	rewrite  = flag.Float64("rewrite", 0.4, "hotspot: rewrite probability (scattered shape)")
 	accounts = flag.Int("accounts", 16, "banking: accounts (must be <= server -accounts)")
 	balance  = flag.Int64("balance", 100, "banking: unused by the client, kept for symmetry")
+	counters = flag.Int("counters", 8, "counter: entities incremented (must be <= server -entities)")
+	bail     = flag.Bool("bail", false, "stop a client at its first failed transaction instead of moving on (crash-harness mode)")
+	verify   = flag.Int64("verify-sum-min", -1, "instead of generating load, read e0..e{counters-1} in one transaction and fail unless their sum >= this (-1 disables)")
 	seed     = flag.Int64("seed", 1, "workload seed (client i uses seed+i)")
 	proto    = flag.Int("proto", 1, "wire protocol: 1 = one frame per operation, 2 = whole program in one BeginProgram frame")
 	timeout  = flag.Duration("timeout", time.Minute, "per-attempt client deadline")
@@ -108,6 +118,8 @@ func programsFor(i int) []*txn.Program {
 		}).Programs
 	case "banking":
 		return sim.BankingWorkload(*accounts, *txnsPer, *balance, *seed+int64(i)).Programs
+	case "counter":
+		return sim.CounterWorkload(*counters, *txnsPer, *seed+int64(i)).Programs
 	default:
 		log.Fatalf("unknown workload %q", *workload)
 		return nil
@@ -237,6 +249,11 @@ func main() {
 	log.SetPrefix("prload: ")
 	flag.Parse()
 
+	if *verify >= 0 {
+		verifySum()
+		return
+	}
+
 	stats := make([]clientStats, *clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -261,6 +278,9 @@ func main() {
 				if err != nil {
 					st.failed++
 					st.lastErr = err
+					if *bail {
+						return
+					}
 					continue
 				}
 				st.committed++
@@ -364,6 +384,49 @@ func main() {
 	if total.failed > 0 {
 		log.Fatalf("%d transactions failed; last error: %v", total.failed, total.lastErr)
 	}
+}
+
+// verifySum is the crash-harness check: one shared-lock transaction
+// reads every counter entity, and the sum is compared against the
+// acknowledged-commit count from before the crash. Each counter commit
+// adds exactly one, retries and in-flight-but-unacknowledged commits
+// can only push the sum higher, so sum >= acked is precisely "no
+// acknowledged commit was lost".
+func verifySum() {
+	b := txn.NewProgram("verify-sum")
+	for i := 0; i < *counters; i++ {
+		b.Local(fmt.Sprintf("c%d", i), 0)
+	}
+	for i := 0; i < *counters; i++ {
+		ent := fmt.Sprintf("e%d", i)
+		b.LockS(ent).Read(ent, fmt.Sprintf("c%d", i))
+	}
+	p, err := b.Build()
+	if err != nil {
+		log.Fatalf("verify: building read transaction: %v", err)
+	}
+	c := client.New(client.Config{
+		Addr:           *addr,
+		RequestTimeout: *timeout,
+		MaxAttempts:    *attempts,
+		Backoff:        exec.Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond},
+		Seed:           *seed,
+		Proto:          *proto,
+	})
+	defer c.Close()
+	res, err := c.Run(context.Background(), p)
+	if err != nil {
+		log.Fatalf("verify: read transaction failed: %v", err)
+	}
+	var sum int64
+	for _, v := range res.Locals {
+		sum += v
+	}
+	fmt.Printf("verify: sum(e0..e%d)=%d acked=%d\n", *counters-1, sum, *verify)
+	if sum < *verify {
+		log.Fatalf("verify: DURABILITY VIOLATION: recovered sum %d < %d acknowledged commits", sum, *verify)
+	}
+	log.Printf("verify: ok (every acknowledged commit survived)")
 }
 
 // printAdminSummary folds the scraped histograms into the human report:

@@ -39,6 +39,7 @@ import (
 
 	"partialrollback/internal/core"
 	"partialrollback/internal/deadlock"
+	"partialrollback/internal/durable"
 	"partialrollback/internal/entity"
 	"partialrollback/internal/obs"
 	"partialrollback/internal/server"
@@ -60,6 +61,11 @@ var (
 	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	shards      = flag.Int("shards", 1, "engine shards (1 = single engine; >1 partitions the lock/wait-for/detection core)")
 	burst       = flag.Int("burst", 1, "max consecutive steps per engine-lock acquisition (1 = classic step-at-a-time)")
+	walDir      = flag.String("wal", "", "write-ahead log directory: commits are durable and replayed on restart (empty = memory only)")
+	fsyncMode   = flag.String("fsync", "group", "wal fsync discipline: always (fsync per commit) | group (batched fsync) | off (write-through, no fsync)")
+	groupWindow = flag.Duration("group-window", 2*time.Millisecond, "group-commit collection window (-fsync group only)")
+	groupMax    = flag.Int("group-max", 64, "flush a commit group early once this many commits are pending")
+	fsyncDelay  = flag.Duration("fsync-delay", 0, "benchmark knob: artificial latency added after every fsync, modeling slower stable storage (0 disables)")
 	admin       = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/waitfor, /debug/txns and pprof (empty disables)")
 	traceCap    = flag.Int("trace", 0, "enable transaction tracing, retaining the last N completed traces (0 disables; requires -admin)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
@@ -163,12 +169,64 @@ func main() {
 		}
 	}
 
+	// Durability: recovery must run before the server is built so the
+	// engine interns the recovered store, and the WAL metrics hook onto
+	// the registry created above.
+	var walSet *durable.Set
+	if *walDir != "" {
+		mode, err := durable.ParseSyncMode(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := durable.Options{Mode: mode, Window: *groupWindow, MaxBatch: *groupMax, SyncDelay: *fsyncDelay}
+		if *groupWindow <= 0 {
+			opts.Window = -1
+		}
+		if registry != nil {
+			appends := registry.NewCounter("pr_wal_appends_total", "Log records made durable.")
+			batches := registry.NewCounter("pr_wal_fsync_batches_total", "Durable flush batches (fsyncs, unless -fsync off).")
+			groupSize := registry.NewHistogram("pr_wal_group_commit_size",
+				"Write-commits per durable flush batch.",
+				[]int64{1, 2, 4, 8, 16, 32, 64, 128})
+			syncDur := registry.NewDurationHistogram("pr_wal_fsync_seconds",
+				"Wall time of each batch fsync.",
+				[]time.Duration{
+					100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+					time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+					10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+				})
+			opts.OnFlush = func(fi durable.FlushInfo) {
+				appends.Add(int64(fi.Records))
+				batches.Inc()
+				groupSize.Observe(int64(fi.Commits))
+				syncDur.Observe(fi.SyncDuration)
+			}
+		}
+		set, rec, err := durable.Open(*walDir, *shards, cfg.Store, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		walSet = set
+		log.Printf("wal: recovered %d records (%d entities) from %d file(s) in %s (max seq %d)",
+			rec.Records, rec.Applied, rec.Files, *walDir, rec.MaxSeq)
+		if rec.TornFiles > 0 || rec.TruncatedBytes > 0 {
+			log.Printf("wal: truncated %d torn file tail(s), %d bytes discarded", rec.TornFiles, rec.TruncatedBytes)
+		}
+		if len(rec.CorruptFiles) > 0 {
+			log.Printf("wal: WARNING: mid-log corruption (not a torn tail) in %v; later records were discarded", rec.CorruptFiles)
+		}
+		if err := cfg.Store.CheckConsistent(); err != nil {
+			log.Fatalf("store inconsistent after recovery: %v", err)
+		}
+		cfg.Durable = walSet
+	}
+
 	srv := server.New(cfg)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d burst=%d)",
-		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *burst)
+	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d burst=%d wal=%s)",
+		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *burst, walDesc())
 
 	var adminSrv *http.Server
 	if *admin != "" {
@@ -219,6 +277,13 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain deadline hit; in-flight transactions rolled back (%v)", err)
 	}
+	if walSet != nil {
+		// Final sync + close: under -fsync off this is the only fsync
+		// the log ever gets, so a clean shutdown still persists tails.
+		if err := walSet.Close(); err != nil {
+			log.Printf("wal: close: %v", err)
+		}
+	}
 	if adminSrv != nil {
 		_ = adminSrv.Shutdown(context.Background())
 	}
@@ -234,4 +299,11 @@ func main() {
 		log.Fatalf("store inconsistent after shutdown: %v", err)
 	}
 	log.Printf("store consistent; bye")
+}
+
+func walDesc() string {
+	if *walDir == "" {
+		return "off"
+	}
+	return fmt.Sprintf("%s(fsync=%s)", *walDir, *fsyncMode)
 }

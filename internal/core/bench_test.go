@@ -189,3 +189,46 @@ func BenchmarkContendedWait(b *testing.B) {
 		}
 	}
 }
+
+// TestCommitStepZeroAlloc pins the memory-only commit path: with no
+// CommitLogger configured, the commit step (install writes, release
+// locks, retire the transaction) must not allocate — the durability
+// hook must cost nothing when disabled. Each run commits a distinct
+// pre-stepped transaction on its own entity.
+func TestCommitStepZeroAlloc(t *testing.T) {
+	const runs = 300
+	initial := make(map[string]int64, runs+1)
+	for i := 0; i <= runs; i++ {
+		initial["e"+strconv.Itoa(i)] = 0
+	}
+	store := entity.NewStore(initial)
+	s := New(Config{Store: store})
+	ids := make([]txn.ID, 0, runs+1)
+	for i := 0; i <= runs; i++ {
+		ent := "e" + strconv.Itoa(i)
+		prog := txn.NewProgram("commit-" + ent).
+			Local("x", 0).
+			LockX(ent).
+			Read(ent, "x").
+			Write(ent, value.Add(value.L("x"), value.C(1))).
+			MustBuild()
+		id := s.MustRegister(prog)
+		// Step to the brink of commit: lock, read, write.
+		for j := 0; j < 3; j++ {
+			if res, err := s.Step(id); err != nil || res.Outcome != Progressed {
+				t.Fatalf("setup step %d/%d: %+v, %v", i, j, res, err)
+			}
+		}
+		ids = append(ids, id)
+	}
+	next := 0
+	if n := testing.AllocsPerRun(runs, func() {
+		res, err := s.Step(ids[next])
+		next++
+		if err != nil || res.Outcome != Committed {
+			t.Fatalf("commit step: %+v, %v", res, err)
+		}
+	}); n != 0 {
+		t.Fatalf("memory-only commit step allocates %v per run, want 0", n)
+	}
+}

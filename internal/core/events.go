@@ -163,4 +163,8 @@ type StepResult struct {
 	Outcome Outcome
 	// Deadlock is non-nil when Outcome is BlockedDeadlock.
 	Deadlock *DeadlockReport
+	// Durable is non-nil when Outcome is Committed and a CommitLogger is
+	// configured: the ticket to wait on (outside the engine mutex)
+	// before acknowledging the commit to anyone.
+	Durable CommitAck
 }

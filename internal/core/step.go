@@ -122,10 +122,11 @@ func (s *System) stepLocked(t *tstate) (StepResult, error) {
 		s.advance(t)
 		return StepResult{Outcome: Progressed}, nil
 	case txn.OpCommit:
-		if err := s.commit(t); err != nil {
+		ack, err := s.commit(t)
+		if err != nil {
 			return StepResult{}, err
 		}
-		return StepResult{Outcome: Committed}, nil
+		return StepResult{Outcome: Committed, Durable: ack}, nil
 	default:
 		return StepResult{}, fmt.Errorf("core: %v op %d: unknown kind %v", t.id, t.pc, op.Kind)
 	}
@@ -337,6 +338,9 @@ func (s *System) unlockEntity(t *tstate, ent intern.ID, entityName string) error
 		if err := s.store.InstallID(ent, sl.copy); err != nil {
 			return err
 		}
+		if s.cfg.CommitLog != nil {
+			s.cfg.CommitLog.LogInstall(CommitWrite{Ent: ent, Name: entityName, Val: sl.copy})
+		}
 	}
 	if s.recorder != nil {
 		s.recorder.OnRelease(t.id, entityName)
@@ -350,26 +354,41 @@ func (s *System) unlockEntity(t *tstate, ent intern.ID, entityName string) error
 
 // commit terminates t: installs all exclusive local copies, releases
 // every lock (in name order, for deterministic event streams), and
-// removes t from the concurrency graph.
-func (s *System) commit(t *tstate) error {
+// removes t from the concurrency graph. With a commit log configured
+// it hands the write-set to the logger and returns the durability
+// ticket the caller's acknowledgement must wait on (outside the engine
+// mutex); LogCommit runs before any later commit on this engine can,
+// so log order respects per-entity install order.
+func (s *System) commit(t *tstate) (CommitAck, error) {
 	s.releaseBuf = s.releaseBuf[:0]
 	for i := range t.slots {
 		s.releaseBuf = append(s.releaseBuf, nameEnt{name: s.names.Name(t.slots[i].ent), ent: t.slots[i].ent})
 	}
 	sortNameEnts(s.releaseBuf)
+	logged := s.cfg.CommitLog != nil
+	if logged {
+		s.writesBuf = s.writesBuf[:0]
+	}
 	for _, ne := range s.releaseBuf {
 		sl := t.findSlot(ne.ent)
 		if sl.mode == lock.Exclusive {
 			if err := s.store.InstallID(ne.ent, sl.copy); err != nil {
-				return err
+				return nil, err
+			}
+			if logged {
+				s.writesBuf = append(s.writesBuf, CommitWrite{Ent: ne.ent, Name: ne.name, Val: sl.copy})
 			}
 		}
 		if s.recorder != nil {
 			s.recorder.OnRelease(t.id, ne.name)
 		}
 		if err := s.releaseAndRefresh(t, ne.ent); err != nil {
-			return err
+			return nil, err
 		}
+	}
+	var ack CommitAck
+	if logged {
+		ack = s.cfg.CommitLog.LogCommit(s.writesBuf)
 	}
 	t.slots = t.slots[:0]
 	t.status = StatusCommitted
@@ -380,5 +399,5 @@ func (s *System) commit(t *tstate) error {
 	}
 	s.stats.Commits++
 	s.emit(Event{Kind: EventCommit, Txn: t.id})
-	return nil
+	return ack, nil
 }

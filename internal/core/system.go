@@ -69,6 +69,59 @@ func (s Strategy) String() string {
 	}
 }
 
+// CommitWrite is one (entity, value) pair a committing or unlocking
+// transaction installs into the global store — the unit the durability
+// layer serializes into a redo log record. Under the paper's deferred
+// update discipline (§4) these installs are the only global-state
+// mutations the engine ever performs, so logging them is logging
+// everything: no undo records exist because uncommitted work lives in
+// per-transaction copies that die with the process, and partial
+// rollback therefore never touches the log.
+type CommitWrite struct {
+	Ent  intern.ID
+	Name string
+	Val  int64
+}
+
+// CommitAck is a durability ticket returned by CommitLogger.LogCommit.
+// Wait blocks until every write of the acknowledged commit is durable
+// (or the log has failed) and must be called outside the engine mutex.
+type CommitAck interface {
+	Wait() error
+}
+
+// CommitLogger receives the engine's install stream. Both methods are
+// invoked under the engine mutex, so they must only buffer and enqueue
+// — never block on IO (the group-commit fsync happens on the logger's
+// own flusher; callers block in CommitAck.Wait, outside the mutex).
+//
+// LogInstall records an early (shrinking-phase) unlock install; it
+// carries no ticket and rides the next flush. Any transaction that can
+// observe the installed value must first acquire the entity's lock,
+// which happens-after this call under the same engine mutex, so its
+// own commit ticket — which waits for the log tail — covers this
+// record too.
+//
+// LogCommit records a committing transaction's whole write-set and
+// returns the ticket its client acknowledgement must wait on. A
+// read-only commit (empty writes) still gets a ticket: it waits for
+// the current log tail, so a commit that observed another
+// transaction's writes is never acknowledged before those writes are
+// durable.
+type CommitLogger interface {
+	LogInstall(w CommitWrite)
+	LogCommit(writes []CommitWrite) CommitAck
+}
+
+// ShardedCommitLogger is a CommitLogger that can hand out one
+// independent logger per shard (internal/shard wires ForShard(k) into
+// shard k's System so each shard appends to its own log file with its
+// own group-commit queue).
+type ShardedCommitLogger interface {
+	CommitLogger
+	ForShard(k int) CommitLogger
+}
+
 // Config configures a System.
 type Config struct {
 	// Store is the global database. Required.
@@ -106,6 +159,10 @@ type Config struct {
 	// HybridAllocator chooses which lock states the Hybrid strategy
 	// checkpoints. Default hybrid.MinGap.
 	HybridAllocator hybrid.Allocator
+	// CommitLog, when non-nil, receives every install for durable
+	// logging (see CommitLogger). Nil keeps the engine memory-only with
+	// a byte-identical commit path.
+	CommitLog CommitLogger
 	// OnEvent, when non-nil, receives every engine event.
 	OnEvent func(Event)
 }
@@ -300,6 +357,7 @@ type System struct {
 	queueBuf    []lock.Waiter
 	copiesBuf   []hybrid.EntityCopy
 	releaseBuf  []nameEnt
+	writesBuf   []CommitWrite
 
 	stats Stats
 }

@@ -1,0 +1,431 @@
+// Package durable turns the standalone internal/wal record format into
+// the engine's durability layer: per-shard redo logs fed by the
+// core.CommitLogger hook, a group-commit scheduler that batches
+// concurrent commits into one append+fsync, and a recovery path that
+// replays the logs into the entity store at startup, truncating any
+// torn tail.
+//
+// The paper's deferred-update discipline (§4) is what makes the layer
+// this small: global values change only when an entity is unlocked or
+// its transaction commits, so the log is redo-only — no undo records,
+// no rollback logging, and partial rollback never touches the log at
+// all (uncommitted work lives in per-transaction copies that die with
+// the process).
+//
+// # Log set layout
+//
+// A Set owns one log file per shard, wal-<k>.log, all drawing sequence
+// numbers from one shared counter. Within a file sequence numbers are
+// strictly increasing but gapped (other shards' records claim the
+// missing numbers); recovery scans every file and applies the
+// highest-sequence record per entity. That merge is correct because a
+// transaction that writes an entity after another one committed it
+// must first acquire the entity's lock, which happens strictly after
+// the previous holder's commit was logged (the log append runs under
+// the shard's engine mutex, and cross-shard entity migration only
+// happens after the owning shard's commit step returns) — so the later
+// write always carries the larger sequence number, on whichever shard
+// it lands.
+//
+// Commits spanning several entities are preceded by a group marker
+// record (empty name, value = member count) so recovery never
+// half-applies a commit: an incomplete trailing group is truncated
+// away with the rest of the damaged tail. Single-record commits and
+// shrinking-phase unlock installs are atomic on their own and carry no
+// marker — the latter matches the paper's deferred-update discipline,
+// where an unlocked value is globally visible (and hence individually
+// durable) before its transaction commits.
+//
+// # Group commit
+//
+// Appends only enqueue encoded records (the engine mutex is never held
+// across IO); each log's flusher goroutine writes and fsyncs batches.
+// Commit acknowledgements wait on a ticket for their batch — exactly
+// the storage-axis twin of the server's coalesced frame writes: many
+// logical completions, one syscall.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/entity"
+	"partialrollback/internal/wal"
+)
+
+// SyncMode selects when log appends are fsynced.
+type SyncMode int
+
+const (
+	// SyncGroup batches concurrent commits into one fsync: the flusher
+	// waits up to Options.Window for more commits to join (flushing
+	// early at Options.MaxBatch), then makes the whole batch durable
+	// with a single write+fsync. Commits are acknowledged only after
+	// their batch's fsync — durability is never traded away, only
+	// latency.
+	SyncGroup SyncMode = iota
+	// SyncAlways gives every write-commit its own write+fsync — the
+	// classical forced-log discipline, and the baseline group commit is
+	// measured against.
+	SyncAlways
+	// SyncOff appends without ever fsyncing (the OS flushes the page
+	// cache at leisure). Commits survive a process kill but not a host
+	// crash. Close still syncs once for a clean shutdown.
+	SyncOff
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode parses the -fsync flag values.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync mode %q (want always, group or off)", s)
+}
+
+// ErrClosed is returned by tickets whose log was closed before their
+// batch became durable, and by appends after Close.
+var ErrClosed = errors.New("durable: log closed")
+
+// Options tunes a Set.
+type Options struct {
+	// Mode selects the fsync discipline. Default SyncGroup.
+	Mode SyncMode
+	// Window is the group-commit collection delay: how long a flush
+	// waits for more commits to join the batch. Only SyncGroup uses it.
+	// 0 means the default (2ms); negative disables the wait (batching
+	// then only captures commits that queued while the previous fsync
+	// was in flight).
+	Window time.Duration
+	// MaxBatch flushes a group early once this many write-commits are
+	// pending. Default 64.
+	MaxBatch int
+	// SyncDelay adds artificial latency after every fsync, modeling
+	// slower stable storage (a classical disk's ~2-10ms barrier) on
+	// hardware whose fsync is too fast to differentiate the sync
+	// disciplines. Benchmarks only (scripts/bench_e19.sh); zero in
+	// production.
+	SyncDelay time.Duration
+	// OnFlush, when non-nil, is called after every durable batch,
+	// outside all locks (metrics export).
+	OnFlush func(FlushInfo)
+}
+
+// FlushInfo describes one durable flush batch.
+type FlushInfo struct {
+	// Shard is the log's index within its Set.
+	Shard int
+	// Commits is the number of write-commits the batch carried (its
+	// group-commit size; shrinking-phase unlock installs count zero).
+	Commits int
+	// Records and Bytes are the batch's record count and encoded size.
+	Records int
+	Bytes   int
+	// SyncDuration is the fsync's wall time (zero under SyncOff).
+	SyncDuration time.Duration
+}
+
+// Stats aggregates a Set's (or one Log's) counters.
+type Stats struct {
+	// Appends counts log records encoded and queued.
+	Appends int64
+	// Commits counts write-commits logged (LogCommit calls with a
+	// non-empty write-set).
+	Commits int64
+	// Flushes counts write batches handed to the file; Fsyncs counts
+	// the ones followed by an fsync (equal except under SyncOff).
+	Flushes int64
+	Fsyncs  int64
+	// Bytes counts durably written log bytes.
+	Bytes int64
+	// MaxCommitsPerFlush is the largest group-commit batch observed.
+	MaxCommitsPerFlush int64
+}
+
+func (a Stats) add(b Stats) Stats {
+	a.Appends += b.Appends
+	a.Commits += b.Commits
+	a.Flushes += b.Flushes
+	a.Fsyncs += b.Fsyncs
+	a.Bytes += b.Bytes
+	if b.MaxCommitsPerFlush > a.MaxCommitsPerFlush {
+		a.MaxCommitsPerFlush = b.MaxCommitsPerFlush
+	}
+	return a
+}
+
+// RecoveryInfo reports what Open found and replayed.
+type RecoveryInfo struct {
+	// Files and Records count log files scanned and records decoded.
+	Files   int
+	Records int
+	// Applied counts entities whose recovered value was installed into
+	// the store (one per distinct entity, not per record).
+	Applied int
+	// MaxSeq is the highest sequence number recovered; appending
+	// resumes after it.
+	MaxSeq uint64
+	// TornFiles counts files whose tail ended mid-record — the expected
+	// shape after a crash; each was truncated to its clean prefix.
+	// TruncatedBytes is the total damage removed.
+	TornFiles      int
+	TruncatedBytes int64
+	// TornCommits counts multi-record commits dropped because the crash
+	// cut off part of their group — the records that did survive are
+	// truncated away too rather than half-applying the commit.
+	TornCommits int
+	// CorruptFiles names files with checksum or framing damage before
+	// the tail — NOT expected after a clean crash; they were truncated
+	// to their clean prefix too, but callers should log this loudly.
+	CorruptFiles []string
+}
+
+// Set is a per-shard collection of redo logs sharing one sequence
+// counter. It implements core.ShardedCommitLogger: pass it as
+// core.Config.CommitLog (or server.Config.Durable) and each shard
+// appends to its own log with its own group-commit queue.
+type Set struct {
+	dir  string
+	opts Options
+	gseq atomic.Uint64
+	logs []*Log
+}
+
+var _ core.ShardedCommitLogger = (*Set)(nil)
+
+// Open creates (or reopens) the log set in dir with one log per shard,
+// first replaying any existing logs into store: for every entity in
+// the recovered merge, the highest-sequence value is installed
+// (defining the entity if the store does not know it). Damaged file
+// tails are truncated so appending resumes from a clean prefix. The
+// returned RecoveryInfo describes what was found; inspect
+// CorruptFiles for damage beyond an ordinary torn tail.
+func Open(dir string, shards int, store *entity.Store, opts Options) (*Set, *RecoveryInfo, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.Window == 0 {
+		opts.Window = 2 * time.Millisecond
+	} else if opts.Window < 0 {
+		opts.Window = 0
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	// The directory entry itself must survive a crash on first run.
+	if parent := filepath.Dir(filepath.Clean(dir)); parent != "" {
+		if err := wal.SyncDir(parent); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	info := &RecoveryInfo{}
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	sort.Strings(paths)
+	type latestVal struct {
+		val int64
+		seq uint64
+	}
+	latest := map[string]latestVal{}
+	for _, path := range paths {
+		recs, err := recoverFile(path, info)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range recs {
+			if r.Seq > info.MaxSeq {
+				info.MaxSeq = r.Seq
+			}
+			if r.Name == "" {
+				continue // commit-group marker, not an entity
+			}
+			if lv, ok := latest[r.Name]; !ok || r.Seq > lv.seq {
+				latest[r.Name] = latestVal{val: r.Value, seq: r.Seq}
+			}
+		}
+	}
+	names := make([]string, 0, len(latest))
+	for n := range latest {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic intern-ID assignment for new names
+	for _, n := range names {
+		lv := latest[n]
+		if store.Exists(n) {
+			if err := store.Install(n, lv.val); err != nil {
+				return nil, nil, fmt.Errorf("durable: replay %q: %w", n, err)
+			}
+		} else {
+			store.Define(n, lv.val)
+		}
+		info.Applied++
+	}
+
+	s := &Set{dir: dir, opts: opts}
+	s.gseq.Store(info.MaxSeq)
+	for k := 0; k < shards; k++ {
+		f, err := wal.Create(filepath.Join(dir, fmt.Sprintf("wal-%d.log", k)))
+		if err != nil {
+			for _, l := range s.logs {
+				l.close()
+			}
+			return nil, nil, err
+		}
+		s.logs = append(s.logs, newLog(s, k, f))
+	}
+	return s, info, nil
+}
+
+// recoverFile scans one log, truncating any damaged tail in place so
+// appending can resume, and folds what it found into info. Damage is
+// either a torn/corrupt record (wal.Scan stops there) or a torn commit
+// group: a marker promising n member records of which the crash
+// persisted fewer. Both truncate to the longest prefix of whole
+// commits, so a commit is recovered entirely or not at all.
+func recoverFile(path string, info *RecoveryInfo) ([]wal.Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("durable: recover: %w", err)
+	}
+	defer f.Close()
+	recs, goodOff, serr := wal.Scan(f)
+	info.Files++
+
+	// Commit-group pass: walk the clean prefix, advancing over whole
+	// groups; an incomplete trailing group shortens the prefix to the
+	// marker's own byte offset (records are self-sizing: 24+len(name)).
+	valid := len(recs)
+	for i := 0; i < len(recs); {
+		if recs[i].Name == "" {
+			n := int(recs[i].Value)
+			if n < 1 || i+1+n > len(recs) {
+				valid = i
+				break
+			}
+			i += 1 + n
+		} else {
+			i++
+		}
+	}
+	tornCommit := valid < len(recs)
+	if tornCommit {
+		info.TornCommits++
+		var off int64
+		for _, r := range recs[:valid] {
+			off += int64(24 + len(r.Name))
+		}
+		goodOff = off
+		recs = recs[:valid]
+	}
+	info.Records += len(recs)
+
+	if serr != nil || tornCommit {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, fmt.Errorf("durable: recover %s: %w", path, err)
+		}
+		info.TruncatedBytes += st.Size() - goodOff
+		switch {
+		case serr != nil && errors.Is(serr, wal.ErrCorrupt):
+			info.CorruptFiles = append(info.CorruptFiles, filepath.Base(path))
+		case serr != nil:
+			info.TornFiles++
+		}
+		if err := f.Truncate(goodOff); err != nil {
+			return nil, fmt.Errorf("durable: truncate %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("durable: truncate %s: %w", path, err)
+		}
+		if err := wal.SyncDir(filepath.Dir(path)); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+// ForShard returns shard k's logger (modulo the set size, so an engine
+// configured with more shards than the set has logs still works — the
+// extra shards share).
+func (s *Set) ForShard(k int) core.CommitLogger {
+	return s.logs[k%len(s.logs)]
+}
+
+// LogInstall implements core.CommitLogger for the unsharded engine
+// (everything lands on log 0).
+func (s *Set) LogInstall(w core.CommitWrite) { s.logs[0].LogInstall(w) }
+
+// LogCommit implements core.CommitLogger for the unsharded engine.
+func (s *Set) LogCommit(writes []core.CommitWrite) core.CommitAck {
+	return s.logs[0].LogCommit(writes)
+}
+
+// Barrier blocks until everything appended so far on every log is
+// durable — the big hammer for paths that learn of a commit without
+// holding its ticket (e.g. an abort that raced a commit).
+func (s *Set) Barrier() error {
+	var first error
+	for _, l := range s.logs {
+		if err := l.barrier(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes every log's remaining batches, syncs once (so SyncOff
+// shutdowns are still durable), and closes the files. Tickets that
+// were already durable keep succeeding; anything else fails ErrClosed.
+func (s *Set) Close() error {
+	var first error
+	for _, l := range s.logs {
+		if err := l.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats sums the per-log counters.
+func (s *Set) Stats() Stats {
+	var out Stats
+	for _, l := range s.logs {
+		out = out.add(l.Stats())
+	}
+	return out
+}
+
+// Dir returns the log directory.
+func (s *Set) Dir() string { return s.dir }
+
+// Logs returns the number of member logs.
+func (s *Set) Logs() int { return len(s.logs) }

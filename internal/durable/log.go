@@ -1,0 +1,331 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/wal"
+)
+
+// File is the slice of *os.File the log needs — injectable so tests
+// can fail writes and fsyncs deterministically.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// pend is one enqueued append batch: a commit's whole write-set, or a
+// single shrinking-phase unlock install (commits == 0). Keeping commit
+// boundaries lets SyncAlways give each commit its own fsync while
+// SyncGroup concatenates freely.
+type pend struct {
+	buf     []byte
+	lastSeq uint64
+	commits int
+	records int
+}
+
+// Log is one shard's redo log: appends enqueue under a mutex (called
+// with the shard's engine mutex held, so never any IO here), a flusher
+// goroutine writes and fsyncs batches, and tickets park on a condition
+// variable until their sequence number is durable.
+type Log struct {
+	set   *Set
+	shard int
+	file  File
+
+	mu             sync.Mutex
+	work           sync.Cond // signals the flusher: pending or closing
+	durable        sync.Cond // signals ticket waiters: durableSeq or err moved
+	pending        []pend
+	pendingCommits int
+	lastSeq        uint64 // highest seq enqueued to this log
+	durableSeq     uint64 // highest seq durably flushed
+	err            error  // sticky first failure; everything after fails
+	closing        bool
+	done           chan struct{} // flusher exited
+	pool           [][]byte      // recycled pend buffers
+	wbuf           []byte        // flusher's batch concatenation buffer
+	st             Stats
+}
+
+func newLog(set *Set, shard int, f File) *Log {
+	l := &Log{set: set, shard: shard, file: f, done: make(chan struct{})}
+	l.work.L = &l.mu
+	l.durable.L = &l.mu
+	go l.flusher()
+	return l
+}
+
+// LogInstall enqueues a shrinking-phase unlock install. It carries no
+// ticket: any transaction able to observe the installed value must
+// first take the entity's lock — which happens-after this append under
+// the same engine mutex — so that transaction's own commit ticket
+// (which waits for the log tail) covers this record.
+func (l *Log) LogInstall(w core.CommitWrite) {
+	l.mu.Lock()
+	if l.err == nil && !l.closing && len(w.Name) <= 0xffff {
+		seq := l.set.gseq.Add(1)
+		p := pend{buf: l.takeBufLocked(), lastSeq: seq, records: 1}
+		p.buf = wal.AppendRecord(p.buf, w.Name, w.Val, seq)
+		l.pushLocked(p)
+	}
+	l.mu.Unlock()
+}
+
+// LogCommit enqueues a committing transaction's write-set and returns
+// its durability ticket. Read-only commits (empty writes) enqueue
+// nothing but still wait for the current log tail, so a commit that
+// observed other transactions' writes is never acknowledged before
+// those writes are durable. Called under the engine mutex; must not
+// block.
+func (l *Log) LogCommit(writes []core.CommitWrite) core.CommitAck {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		return errAck{ErrClosed}
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return errAck{err}
+	}
+	for _, w := range writes {
+		if len(w.Name) > 0xffff {
+			err := fmt.Errorf("durable: shard %d: entity name too long (%d bytes)", l.shard, len(w.Name))
+			l.err = err
+			l.durable.Broadcast()
+			l.mu.Unlock()
+			return errAck{err}
+		}
+	}
+	switch {
+	case len(writes) == 1:
+		// A single-record commit is atomic by itself; no group marker.
+		seq := l.set.gseq.Add(1)
+		p := pend{buf: l.takeBufLocked(), lastSeq: seq, commits: 1, records: 1}
+		p.buf = wal.AppendRecord(p.buf, writes[0].Name, writes[0].Val, seq)
+		l.pushLocked(p)
+	case len(writes) > 1:
+		// Multi-record commits get a group marker (empty name, value =
+		// member count) ahead of their records, so recovery can refuse
+		// to half-apply a commit whose tail was torn off by a crash.
+		n := uint64(len(writes))
+		base := l.set.gseq.Add(n + 1)
+		seq := base - n
+		p := pend{buf: l.takeBufLocked(), lastSeq: base, commits: 1, records: len(writes) + 1}
+		p.buf = wal.AppendRecord(p.buf, "", int64(len(writes)), seq)
+		for _, w := range writes {
+			seq++
+			p.buf = wal.AppendRecord(p.buf, w.Name, w.Val, seq)
+		}
+		l.pushLocked(p)
+	}
+	t := &ticket{log: l, seq: l.lastSeq}
+	l.mu.Unlock()
+	return t
+}
+
+func (l *Log) pushLocked(p pend) {
+	l.lastSeq = p.lastSeq
+	l.pending = append(l.pending, p)
+	l.pendingCommits += p.commits
+	l.st.Appends += int64(p.records)
+	l.st.Commits += int64(p.commits)
+	l.work.Signal()
+}
+
+func (l *Log) takeBufLocked() []byte {
+	if n := len(l.pool); n > 0 {
+		b := l.pool[n-1]
+		l.pool = l.pool[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (l *Log) putBufLocked(b []byte) {
+	if b != nil && len(l.pool) < 64 {
+		l.pool = append(l.pool, b)
+	}
+}
+
+// barrier waits for everything enqueued so far to be durable.
+func (l *Log) barrier() error {
+	l.mu.Lock()
+	seq := l.lastSeq
+	l.mu.Unlock()
+	t := ticket{log: l, seq: seq}
+	return t.Wait()
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
+}
+
+// flusher is the log's single IO goroutine: it takes batches off the
+// pending queue, concatenates them into one write, fsyncs per the sync
+// mode, and advances durableSeq. It exits when closed with an empty
+// queue, so Close never loses acknowledged-to-be-pending records.
+func (l *Log) flusher() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.pending) == 0 && !l.closing {
+			l.work.Wait()
+		}
+		if len(l.pending) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		mode := l.set.opts.Mode
+		// Group mode: hold the batch open for the window so concurrent
+		// committers join it, unless it is already full or closing.
+		if mode == SyncGroup && l.set.opts.Window > 0 && !l.closing && l.pendingCommits < l.set.opts.MaxBatch {
+			l.mu.Unlock()
+			time.Sleep(l.set.opts.Window)
+			l.mu.Lock()
+		}
+		// Take the batch: everything pending, except under SyncAlways,
+		// where exactly one write-commit (plus any unlock installs queued
+		// before it) gets its own fsync.
+		n := len(l.pending)
+		if mode == SyncAlways {
+			n = 1
+			for i := range l.pending {
+				if l.pending[i].commits > 0 {
+					n = i + 1
+					break
+				}
+			}
+		}
+		l.wbuf = l.wbuf[:0]
+		var commits, records int
+		var last uint64
+		for _, p := range l.pending[:n] {
+			l.wbuf = append(l.wbuf, p.buf...)
+			commits += p.commits
+			records += p.records
+			last = p.lastSeq
+			l.putBufLocked(p.buf)
+		}
+		rest := copy(l.pending, l.pending[n:])
+		for i := rest; i < len(l.pending); i++ {
+			l.pending[i] = pend{}
+		}
+		l.pending = l.pending[:rest]
+		l.pendingCommits -= commits
+		failed := l.err != nil
+		l.mu.Unlock()
+
+		var err error
+		var syncDur time.Duration
+		if !failed {
+			_, err = l.file.Write(l.wbuf)
+			if err == nil && mode != SyncOff {
+				t0 := time.Now()
+				err = l.file.Sync()
+				if d := l.set.opts.SyncDelay; err == nil && d > 0 {
+					time.Sleep(d)
+				}
+				syncDur = time.Since(t0)
+			}
+			if err == nil && l.set.opts.OnFlush != nil {
+				l.set.opts.OnFlush(FlushInfo{
+					Shard: l.shard, Commits: commits, Records: records,
+					Bytes: len(l.wbuf), SyncDuration: syncDur,
+				})
+			}
+		}
+
+		l.mu.Lock()
+		if !failed {
+			l.st.Flushes++
+			if err != nil {
+				if l.err == nil {
+					l.err = fmt.Errorf("durable: shard %d: %w", l.shard, err)
+				}
+			} else {
+				if mode != SyncOff {
+					l.st.Fsyncs++
+				}
+				l.st.Bytes += int64(len(l.wbuf))
+				if int64(commits) > l.st.MaxCommitsPerFlush {
+					l.st.MaxCommitsPerFlush = int64(commits)
+				}
+				l.durableSeq = last
+			}
+			l.durable.Broadcast()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// close drains the flusher, syncs once (covers SyncOff shutdowns), and
+// closes the file. It returns the sticky flush error if the log had
+// already failed. Safe to call twice.
+func (l *Log) close() error {
+	l.mu.Lock()
+	wasClosing := l.closing
+	l.closing = true
+	l.work.Broadcast()
+	l.mu.Unlock()
+	<-l.done
+	l.mu.Lock()
+	sticky := l.err
+	if l.err == nil {
+		l.err = ErrClosed
+	}
+	l.durable.Broadcast()
+	l.mu.Unlock()
+	if wasClosing {
+		return nil
+	}
+	var err error
+	if sticky != nil {
+		err = sticky
+	}
+	if serr := l.file.Sync(); serr != nil && err == nil {
+		err = fmt.Errorf("durable: shard %d: close sync: %w", l.shard, serr)
+	}
+	if cerr := l.file.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("durable: shard %d: close: %w", l.shard, cerr)
+	}
+	return err
+}
+
+// ticket is a CommitAck bound to a log sequence number.
+type ticket struct {
+	log *Log
+	seq uint64
+}
+
+// Wait blocks until the ticket's sequence number is durable or the log
+// fails. A batch that became durable before a later failure still
+// reports success — its records are on disk.
+func (t ticket) Wait() error {
+	l := t.log
+	l.mu.Lock()
+	for l.durableSeq < t.seq && l.err == nil {
+		l.durable.Wait()
+	}
+	ok := l.durableSeq >= t.seq
+	err := l.err
+	l.mu.Unlock()
+	if ok {
+		return nil
+	}
+	return err
+}
+
+// errAck is a pre-failed CommitAck.
+type errAck struct{ err error }
+
+func (e errAck) Wait() error { return e.err }

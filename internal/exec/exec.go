@@ -140,6 +140,15 @@ func StepToCommitBurst(ctx context.Context, sys core.Engine, id txn.ID, wake <-c
 		}
 		switch res.Outcome {
 		case core.Committed, core.AlreadyCommitted:
+			// With a durability layer configured the commit is not
+			// acknowledgeable until its log batch is fsynced; the wait
+			// happens here, outside the engine mutex, so the engine keeps
+			// committing other transactions into the same batch.
+			if res.Durable != nil {
+				if err := res.Durable.Wait(); err != nil {
+					return fmt.Errorf("exec: %v: commit not durable: %w", id, err)
+				}
+			}
 			return nil
 		case core.Progressed, core.SelfRolledBack:
 			// Yield between bursts so concurrent transactions interleave

@@ -50,6 +50,10 @@ type Options struct {
 	// larger value partitions the engine into that many shards
 	// (internal/shard) so disjoint transactions execute in parallel.
 	Shards int
+	// CommitLog forwards to core.Config.CommitLog: every transaction's
+	// acknowledgement (its StepToCommit returning) then waits for its
+	// write-set to be durable.
+	CommitLog core.CommitLogger
 	// OnEvent, when non-nil, additionally receives every engine event
 	// (after the driver's own wake notifier) — the hook the
 	// observability collector and tracer chain onto.
@@ -84,6 +88,7 @@ func Run(store *entity.Store, programs []*txn.Program, opt Options) (*Outcome, e
 		HybridBudget:    opt.HybridBudget,
 		HybridAllocator: opt.HybridAllocator,
 		RecordHistory:   opt.RecordHistory,
+		CommitLog:       opt.CommitLog,
 		OnEvent:         onEvent,
 	}
 	var sys core.Engine

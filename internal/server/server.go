@@ -34,6 +34,7 @@ import (
 
 	"partialrollback/internal/core"
 	"partialrollback/internal/deadlock"
+	"partialrollback/internal/durable"
 	"partialrollback/internal/entity"
 	"partialrollback/internal/exec"
 	"partialrollback/internal/hybrid"
@@ -81,6 +82,14 @@ type Config struct {
 	// in parallel. The counter snapshot then carries per-shard
 	// counters (shard<k>_grants, ...) for imbalance diagnostics.
 	Shards int
+	// Durable, when non-nil, is the write-ahead log set commits are
+	// recorded to: the engine logs every install through it, and a
+	// transaction is acknowledged as committed only after its write-set
+	// is durable per the set's sync mode. The caller opens the set
+	// (running recovery) and closes it after Shutdown; the set must
+	// have been opened with (at least) Shards logs. Nil serves
+	// memory-only with an unchanged commit path.
+	Durable *durable.Set
 	// OnEvent, when non-nil, additionally receives every engine event.
 	OnEvent func(core.Event)
 	// Logf, when non-nil, receives serving diagnostics.
@@ -162,6 +171,9 @@ func New(cfg Config) *Server {
 		HybridAllocator: cfg.HybridAllocator,
 		StarvationLimit: cfg.StarvationLimit,
 		OnEvent:         s.onEvent,
+	}
+	if cfg.Durable != nil {
+		ecfg.CommitLog = cfg.Durable
 	}
 	if cfg.Shards > 1 {
 		s.sharded = shard.New(cfg.Shards, ecfg)
@@ -402,6 +414,17 @@ func (s *Server) Counters() []wire.Counter {
 		{Name: "txns_served", Val: s.txnsServed.Load()},
 		{Name: "waits", Val: st.Waits},
 		{Name: "writer_flushes", Val: s.writerFlushes.Load()},
+	}
+	if s.cfg.Durable != nil {
+		ws := s.cfg.Durable.Stats()
+		out = append(out,
+			wire.Counter{Name: "wal_appends", Val: ws.Appends},
+			wire.Counter{Name: "wal_commits", Val: ws.Commits},
+			wire.Counter{Name: "wal_flushes", Val: ws.Flushes},
+			wire.Counter{Name: "wal_fsync_batches", Val: ws.Fsyncs},
+			wire.Counter{Name: "wal_bytes", Val: ws.Bytes},
+			wire.Counter{Name: "wal_max_group", Val: ws.MaxCommitsPerFlush},
+		)
 	}
 	if s.sharded != nil {
 		out = append(out, wire.Counter{Name: "shards", Val: int64(s.sharded.Shards())})
@@ -710,6 +733,16 @@ func (s *Server) abortAndReply(ss *session, id txn.ID) (closeConn bool) {
 		ss.send(wire.Error{Code: code, Msg: msg})
 		return s.isDraining()
 	case errors.Is(err, core.ErrCommitted):
+		// The commit raced the deadline, so the interrupted exec loop
+		// never waited on the commit's durability ticket. Don't
+		// acknowledge until the log catches up.
+		if s.cfg.Durable != nil {
+			if derr := s.cfg.Durable.Barrier(); derr != nil {
+				s.cfg.Logf("server: txn %v: commit not durable: %v", id, derr)
+				ss.send(wire.Error{Code: wire.CodeInternal, Msg: derr.Error()})
+				return true
+			}
+		}
 		ss.send(s.committedReply(id))
 		return false
 	case errors.Is(err, core.ErrShrinking):
@@ -736,6 +769,14 @@ func (s *Server) drainShrinking(id txn.ID) error {
 			return err
 		}
 		if res.Outcome == core.Committed || res.Outcome == core.AlreadyCommitted {
+			if res.Durable != nil {
+				return res.Durable.Wait()
+			}
+			if res.Outcome == core.AlreadyCommitted && s.cfg.Durable != nil {
+				// Someone else drove the commit step; its ticket is not
+				// ours to wait on, so take the conservative barrier.
+				return s.cfg.Durable.Barrier()
+			}
 			return nil
 		}
 	}

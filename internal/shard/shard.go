@@ -155,6 +155,12 @@ func New(n int, cfg core.Config) *Engine {
 		e.l2g[k] = map[txn.ID]txn.ID{}
 		sub := cfg
 		sub.HistoryClock = e.clock
+		if scl, ok := cfg.CommitLog.(core.ShardedCommitLogger); ok {
+			// Each shard appends to its own log with its own group-commit
+			// queue; a plain CommitLogger is shared by all shards instead
+			// (correct, just serialized on one append queue).
+			sub.CommitLog = scl.ForShard(k)
+		}
 		if e.onEvent != nil {
 			sub.OnEvent = e.shardEventSink(k)
 		} else {

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScanGappedSequences: Scan accepts the multi-log shape (strictly
+// increasing, gapped sequences) that ReadAll rejects, and reports the
+// clean-prefix byte offset that recovery truncates to.
+func TestScanGappedSequences(t *testing.T) {
+	var buf []byte
+	var offs []int // end offset of each record
+	recs := []Record{
+		{Name: "a", Value: 1, Seq: 3},
+		{Name: "bb", Value: -2, Seq: 7},
+		{Name: "ccc", Value: 3, Seq: 20},
+	}
+	for _, r := range recs {
+		buf = AppendRecord(buf, r.Name, r.Value, r.Seq)
+		offs = append(offs, len(buf))
+	}
+	// Records are self-sizing: 24 bytes of framing plus the name.
+	if got, want := offs[0], 24+len("a"); got != want {
+		t.Fatalf("record size = %d, want %d", got, want)
+	}
+
+	got, goodOff, err := Scan(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if goodOff != int64(len(buf)) {
+		t.Fatalf("goodOff = %d, want %d", goodOff, len(buf))
+	}
+	if len(got) != 3 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i, r := range got {
+		if r != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+
+	// The same bytes fail ReadAll's dense-sequence check.
+	if _, err := ReadAll(bytes.NewReader(buf)); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadAll accepted gapped sequences: %v", err)
+	}
+}
+
+// TestScanTornTailOffset: a torn final record leaves goodOff at the
+// last whole record, for every cut position.
+func TestScanTornTailOffset(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, "x", 10, 5)
+	buf = AppendRecord(buf, "y", 20, 6)
+	whole := int64(len(buf)) - int64(24+len("y"))
+	for cut := 1; cut < 24+len("y"); cut++ {
+		torn := buf[:len(buf)-cut]
+		got, goodOff, err := Scan(bytes.NewReader(torn))
+		if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v", cut, err)
+		}
+		if goodOff != whole {
+			t.Fatalf("cut %d: goodOff = %d, want %d", cut, goodOff, whole)
+		}
+		if len(got) != 1 || got[0].Seq != 5 {
+			t.Fatalf("cut %d: prefix = %+v", cut, got)
+		}
+	}
+}
+
+// TestScanNonIncreasingSequence: a sequence that stalls or reverses is
+// corruption, and the prefix before it survives with its offset.
+func TestScanNonIncreasingSequence(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, "a", 1, 9)
+	prefix := int64(len(buf))
+	buf = AppendRecord(buf, "b", 2, 9) // duplicate seq
+	got, goodOff, err := Scan(bytes.NewReader(buf))
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate seq undetected: %v", err)
+	}
+	if goodOff != prefix || len(got) != 1 {
+		t.Fatalf("goodOff = %d (want %d), records = %d", goodOff, prefix, len(got))
+	}
+}
+
+// failingSyncer is an in-memory writer whose fsync always fails.
+type failingSyncer struct {
+	bytes.Buffer
+}
+
+func (f *failingSyncer) Sync() error { return errors.New("injected: device lost") }
+
+func TestWriterSyncError(t *testing.T) {
+	var fs failingSyncer
+	w := NewWriter(&fs, 0)
+	if _, err := w.Append("e", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Sync()
+	if err == nil {
+		t.Fatal("Sync on a failing device returned nil")
+	}
+	if !strings.Contains(err.Error(), "wal: sync") {
+		t.Fatalf("error not wrapped: %v", err)
+	}
+	// The appended record is still intact in the buffer — Sync failure
+	// does not corrupt the stream.
+	if recs, err := ReadAll(bytes.NewReader(fs.Bytes())); err != nil || len(recs) != 1 {
+		t.Fatalf("stream damaged after failed sync: %v %v", recs, err)
+	}
+}
+
+func TestWriterSyncNoopWithoutSyncer(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync over a plain writer: %v", err)
+	}
+}
+
+// TestCreateAppendsAcrossReopen: Create opens for append (and fsyncs
+// the parent directory); reopening the same path continues the file.
+func TestCreateAppendsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0.log")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(AppendRecord(nil, "a", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(AppendRecord(nil, "b", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, goodOff, err := Scan(bytes.NewReader(data))
+	if err != nil || goodOff != int64(len(data)) || len(recs) != 2 {
+		t.Fatalf("reopened log: recs=%v goodOff=%d err=%v", recs, goodOff, err)
+	}
+	if recs[1].Name != "b" || recs[1].Seq != 2 {
+		t.Fatalf("append after reopen lost: %+v", recs)
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory returned nil")
+	}
+}

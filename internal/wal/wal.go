@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"partialrollback/internal/entity"
@@ -46,12 +48,29 @@ type Record struct {
 // damage (as opposed to clean EOF).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// AppendRecord encodes one record onto dst and returns the extended
+// slice — the allocation-free encoder shared by Writer and the
+// group-commit batcher in internal/durable. The caller guarantees
+// len(name) <= 0xffff (Writer.Append validates; internal/durable's
+// names come from the intern table and are engine-validated).
+func AppendRecord(dst []byte, name string, value int64, seq uint64) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, magic)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(value))
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
 // Writer appends records to an io.Writer. Safe for concurrent use.
 type Writer struct {
 	mu  sync.Mutex
 	w   io.Writer
 	seq uint64
 	n   int64
+	buf []byte
 }
 
 // NewWriter creates a Writer starting at sequence nextSeq (1 for a
@@ -71,21 +90,28 @@ func (w *Writer) Append(name string, value int64) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	seq := w.seq
-	var buf bytes.Buffer
-	binary.Write(&buf, binary.LittleEndian, magic)
-	binary.Write(&buf, binary.LittleEndian, uint16(len(name)))
-	buf.WriteString(name)
-	binary.Write(&buf, binary.LittleEndian, value)
-	binary.Write(&buf, binary.LittleEndian, seq)
-	crc := crc32.ChecksumIEEE(buf.Bytes())
-	binary.Write(&buf, binary.LittleEndian, crc)
-	n, err := w.w.Write(buf.Bytes())
+	w.buf = AppendRecord(w.buf[:0], name, value, seq)
+	n, err := w.w.Write(w.buf)
 	w.n += int64(n)
 	if err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	w.seq++
 	return seq, nil
+}
+
+// Sync flushes the underlying writer to stable storage when it exposes
+// a Sync method (os.File does); otherwise it is a no-op. Use it to
+// force appended records durable outside the group-commit layer.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
 }
 
 // Seq returns the next sequence number to be written.
@@ -122,41 +148,63 @@ func (w *Writer) Attach(store *entity.Store) <-chan error {
 // ReadAll decodes records until EOF or damage. It returns the cleanly
 // read prefix; err is nil on clean EOF, io.ErrUnexpectedEOF for a torn
 // tail, or wraps ErrCorrupt for checksum/framing/sequence damage. In
-// every case the returned records are safe to replay.
+// every case the returned records are safe to replay. Sequence numbers
+// must be dense from 1 (a single standalone log); use Scan for a log
+// that is one member of a multi-file set.
 func ReadAll(r io.Reader) ([]Record, error) {
+	out, _, err := scan(r, true)
+	return out, err
+}
+
+// Scan is ReadAll with the sequence check relaxed to strictly
+// increasing from any start — the shape of one file in a multi-log set
+// whose members draw from a shared sequence counter (each file then
+// sees gaps where other files' records interleave). It additionally
+// returns the byte offset of the end of the cleanly read prefix: the
+// length to truncate a damaged file to so the torn or corrupt tail is
+// removed and appending can resume.
+func Scan(r io.Reader) (recs []Record, goodOff int64, err error) {
+	return scan(r, false)
+}
+
+// scan is the shared decode loop behind ReadAll (dense sequences) and
+// Scan (strictly increasing sequences).
+func scan(r io.Reader, dense bool) ([]Record, int64, error) {
 	br := newByteReader(r)
 	var out []Record
-	var wantSeq uint64 = 1
+	var goodOff int64
+	var wantSeq uint64 = 1 // dense: next expected
+	var lastSeq uint64     // loose: last accepted
 	for {
 		var m uint16
 		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
 			if errors.Is(err, io.EOF) {
-				return out, nil
+				return out, goodOff, nil
 			}
-			return out, io.ErrUnexpectedEOF
+			return out, goodOff, io.ErrUnexpectedEOF
 		}
 		if m != magic {
-			return out, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+			return out, goodOff, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
 		}
 		var nameLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return out, io.ErrUnexpectedEOF
+			return out, goodOff, io.ErrUnexpectedEOF
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
-			return out, io.ErrUnexpectedEOF
+			return out, goodOff, io.ErrUnexpectedEOF
 		}
 		var value int64
 		if err := binary.Read(br, binary.LittleEndian, &value); err != nil {
-			return out, io.ErrUnexpectedEOF
+			return out, goodOff, io.ErrUnexpectedEOF
 		}
 		var seq uint64
 		if err := binary.Read(br, binary.LittleEndian, &seq); err != nil {
-			return out, io.ErrUnexpectedEOF
+			return out, goodOff, io.ErrUnexpectedEOF
 		}
 		var gotCRC uint32
 		if err := binary.Read(br, binary.LittleEndian, &gotCRC); err != nil {
-			return out, io.ErrUnexpectedEOF
+			return out, goodOff, io.ErrUnexpectedEOF
 		}
 		var check bytes.Buffer
 		binary.Write(&check, binary.LittleEndian, magic)
@@ -165,14 +213,52 @@ func ReadAll(r io.Reader) ([]Record, error) {
 		binary.Write(&check, binary.LittleEndian, value)
 		binary.Write(&check, binary.LittleEndian, seq)
 		if crc32.ChecksumIEEE(check.Bytes()) != gotCRC {
-			return out, fmt.Errorf("%w: checksum mismatch at seq %d", ErrCorrupt, seq)
+			return out, goodOff, fmt.Errorf("%w: checksum mismatch at seq %d", ErrCorrupt, seq)
 		}
-		if seq != wantSeq {
-			return out, fmt.Errorf("%w: sequence gap (got %d, want %d)", ErrCorrupt, seq, wantSeq)
+		if dense {
+			if seq != wantSeq {
+				return out, goodOff, fmt.Errorf("%w: sequence gap (got %d, want %d)", ErrCorrupt, seq, wantSeq)
+			}
+			wantSeq++
+		} else {
+			if seq <= lastSeq {
+				return out, goodOff, fmt.Errorf("%w: sequence not increasing (got %d after %d)", ErrCorrupt, seq, lastSeq)
+			}
+			lastSeq = seq
 		}
-		wantSeq++
+		goodOff = br.sum
 		out = append(out, Record{Name: string(name), Value: value, Seq: seq})
 	}
+}
+
+// SyncDir fsyncs a directory, making entries created, truncated or
+// renamed inside it crash-durable. Without it a freshly created log
+// file's data can survive a crash while the file itself vanishes with
+// the unsynced directory entry.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Create opens path for appending, creating it if needed, and fsyncs
+// the parent directory so the file entry itself survives a crash.
+func Create(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // Recover replays a log over a store holding the initial database

@@ -24,8 +24,19 @@ go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnsh
 go test -race -count=1 -run 'TestBurstOneIsStepRegression|TestBurstPropertySerializable' ./internal/sim/
 go test -race -count=1 -run 'TestMixedProtocolClients' ./internal/server/
 
+# Durability's correctness surface, likewise explicit: the wal framing
+# and torn-tail offsets, the group-commit/recovery unit tests, and the
+# concurrent-committer durability tests (acks only after fsync).
+go test -race -count=1 ./internal/wal/ ./internal/durable/
+
+# Crash recovery end-to-end: kill -9 a WAL-backed prserver mid-load,
+# restart it over the same log, and verify by arithmetic that every
+# acknowledged commit survived.
+./scripts/smoke_recovery.sh
+
 # Micro-benchmarks: one race-enabled iteration each, plus the
-# zero-allocation regression tests, so benchmark code cannot rot.
+# zero-allocation regression tests (including the memory-only commit
+# path in internal/core), so benchmark code cannot rot.
 ./scripts/bench_smoke.sh
 
 # Observability end-to-end: start prserver with -admin and assert the
