@@ -64,7 +64,9 @@ var (
 	bail     = flag.Bool("bail", false, "stop a client at its first failed transaction instead of moving on (crash-harness mode)")
 	verify   = flag.Int64("verify-sum-min", -1, "instead of generating load, read e0..e{counters-1} in one transaction and fail unless their sum >= this (-1 disables)")
 	seed     = flag.Int64("seed", 1, "workload seed (client i uses seed+i)")
-	proto    = flag.Int("proto", 1, "wire protocol: 1 = one frame per operation, 2 = whole program in one BeginProgram frame")
+	proto    = flag.Int("proto", 1, "wire protocol: 1 = one frame per operation, 2 = whole program in one BeginProgram frame, 3 = stream-multiplexed (-streams concurrent transactions share -conns sockets)")
+	conns    = flag.Int("conns", 4, "proto 3: shared sockets the streams are multiplexed over")
+	streams  = flag.Int("streams", 0, "proto 3: total concurrent streams across the -conns sockets (0 = -clients)")
 	timeout  = flag.Duration("timeout", time.Minute, "per-attempt client deadline")
 	attempts = flag.Int("attempts", 16, "max attempts per transaction")
 	adminURL = flag.String("admin", "", "server admin endpoint (host:port or URL) to scrape /metrics from after the run")
@@ -139,6 +141,15 @@ type report struct {
 	Committed     int     `json:"committed"`
 	Failed        int     `json:"failed"`
 	Throughput    float64 `json:"throughputTxnPerSec"`
+	// OpenSockets is how many TCP connections carried the load: one per
+	// client under proto 1/2, -conns shared sockets under proto 3.
+	OpenSockets int `json:"openSockets"`
+	// Streams is the concurrent-transaction count (= clients under
+	// proto 1/2, -streams under proto 3).
+	Streams int `json:"streams"`
+	// TxnsPerSocket is throughput divided by open sockets — the ROADMAP
+	// connection-efficiency metric (txn/s per open socket).
+	TxnsPerSocket float64 `json:"txnsPerSocket"`
 	LatencyP50Ms  float64 `json:"latencyP50Ms"`
 	LatencyP90Ms  float64 `json:"latencyP90Ms"`
 	LatencyP99Ms  float64 `json:"latencyP99Ms"`
@@ -254,27 +265,57 @@ func main() {
 		return
 	}
 
-	stats := make([]clientStats, *clients)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < *clients; i++ {
-		progs := programsFor(i)
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c := client.New(client.Config{
+	// Under proto 3 the unit of concurrency (a stream) is decoupled from
+	// the socket: -streams workers share -conns multiplexed connections.
+	// Under proto 1/2 each worker owns its connection, as before.
+	workers := *clients
+	var muxes []*client.Mux
+	if *proto >= 3 {
+		if *streams > 0 {
+			workers = *streams
+		}
+		if *conns < 1 {
+			log.Fatalf("-conns must be >= 1 (got %d)", *conns)
+		}
+		muxes = make([]*client.Mux, *conns)
+		for k := range muxes {
+			muxes[k] = client.NewMux(client.MuxConfig{
 				Addr:           *addr,
 				RequestTimeout: *timeout,
 				MaxAttempts:    *attempts,
 				Backoff:        exec.Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond},
-				Seed:           *seed + int64(i) + 1,
-				Proto:          *proto,
 			})
-			defer c.Close()
+			defer muxes[k].Close()
+		}
+	}
+
+	stats := make([]clientStats, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		progs := programsFor(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var run func(context.Context, *txn.Program) (*client.Result, error)
+			if muxes != nil {
+				run = muxes[i%len(muxes)].Run
+			} else {
+				c := client.New(client.Config{
+					Addr:           *addr,
+					RequestTimeout: *timeout,
+					MaxAttempts:    *attempts,
+					Backoff:        exec.Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond},
+					Seed:           *seed + int64(i) + 1,
+					Proto:          *proto,
+				})
+				defer c.Close()
+				run = c.Run
+			}
 			st := &stats[i]
 			for _, p := range progs {
 				t0 := time.Now()
-				res, err := c.Run(context.Background(), p)
+				res, err := run(context.Background(), p)
 				if err != nil {
 					st.failed++
 					st.lastErr = err
@@ -313,10 +354,18 @@ func main() {
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 
+	openSockets := workers
+	if muxes != nil {
+		openSockets = len(muxes)
+	}
+	throughput := float64(total.committed) / elapsed.Seconds()
+
 	fmt.Printf("workload=%s clients=%d txns/client=%d elapsed=%v\n",
 		*workload, *clients, *txnsPer, elapsed.Round(time.Millisecond))
 	fmt.Printf("committed=%d failed=%d throughput=%.1f txn/s\n",
-		total.committed, total.failed, float64(total.committed)/elapsed.Seconds())
+		total.committed, total.failed, throughput)
+	fmt.Printf("sockets=%d streams=%d txn/s-per-socket=%.1f\n",
+		openSockets, workers, throughput/float64(openSockets))
 	fmt.Printf("latency p50=%v p90=%v p99=%v\n",
 		percentile(total.latencies, 0.50).Round(time.Microsecond),
 		percentile(total.latencies, 0.90).Round(time.Microsecond),
@@ -333,7 +382,10 @@ func main() {
 		ElapsedSec:    elapsed.Seconds(),
 		Committed:     total.committed,
 		Failed:        total.failed,
-		Throughput:    float64(total.committed) / elapsed.Seconds(),
+		Throughput:    throughput,
+		OpenSockets:   openSockets,
+		Streams:       workers,
+		TxnsPerSocket: throughput / float64(openSockets),
 		LatencyP50Ms:  float64(percentile(total.latencies, 0.50)) / float64(time.Millisecond),
 		LatencyP90Ms:  float64(percentile(total.latencies, 0.90)) / float64(time.Millisecond),
 		LatencyP99Ms:  float64(percentile(total.latencies, 0.99)) / float64(time.Millisecond),

@@ -44,6 +44,7 @@ import (
 	"partialrollback/internal/obs"
 	"partialrollback/internal/server"
 	"partialrollback/internal/shard"
+	"partialrollback/internal/txn"
 )
 
 var (
@@ -60,7 +61,9 @@ var (
 	idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "per-message read deadline")
 	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	shards      = flag.Int("shards", 1, "engine shards (1 = single engine; >1 partitions the lock/wait-for/detection core)")
-	burst       = flag.Int("burst", 1, "max consecutive steps per engine-lock acquisition (1 = classic step-at-a-time)")
+	burst       = flag.Int("burst", 1, "max consecutive steps per engine-lock acquisition (1 = classic step-at-a-time; -1 = adaptive: up to 64 while uncontended, 1 under contention)")
+	maxStreams  = flag.Int("max-streams", 4096, "maximum concurrently active v3 streams per connection (excess streams are refused with the retryable BUSY)")
+	strmWorkers = flag.Int("stream-workers", 0, "per-connection worker pool bound for v3 streams (0 = max-streams)")
 	walDir      = flag.String("wal", "", "write-ahead log directory: commits are durable and replayed on restart (empty = memory only)")
 	fsyncMode   = flag.String("fsync", "group", "wal fsync discipline: always (fsync per commit) | group (batched fsync) | off (write-through, no fsync)")
 	groupWindow = flag.Duration("group-window", 2*time.Millisecond, "group-commit collection window (-fsync group only)")
@@ -142,6 +145,8 @@ func main() {
 		IdleTimeout:    *idleTimeout,
 		Shards:         *shards,
 		Burst:          *burst,
+		MaxStreams:     *maxStreams,
+		StreamWorkers:  *strmWorkers,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -240,7 +245,15 @@ func main() {
 			}
 			return out
 		})
-		opts := obs.AdminOptions{Registry: registry, Engine: srv.System(), Tracer: tracer}
+		opts := obs.AdminOptions{Registry: registry, Engine: srv.System(), Tracer: tracer,
+			Owners: func() map[txn.ID]obs.TxnOwner {
+				owners := srv.Owners()
+				out := make(map[txn.ID]obs.TxnOwner, len(owners))
+				for id, o := range owners {
+					out[id] = obs.TxnOwner{Conn: o.Conn, Addr: o.Addr, Stream: o.Stream, Tagged: o.Tagged}
+				}
+				return out
+			}}
 		if se, ok := srv.System().(*shard.Engine); ok {
 			registry.NewGauge("pr_admission_queue_depth",
 				"Cross-shard claims queued for placement.",

@@ -1,0 +1,392 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"partialrollback/internal/exec"
+	"partialrollback/internal/obs"
+	"partialrollback/internal/txn"
+	"partialrollback/internal/wire"
+)
+
+// MuxConfig configures a Mux.
+type MuxConfig struct {
+	// Addr is the server address for the default dialer.
+	Addr string
+	// Dial, when non-nil, replaces the default TCP dialer.
+	Dial func() (net.Conn, error)
+	// RequestTimeout bounds one attempt end to end. Default 1m —
+	// deliberately above the server's own request deadline so the
+	// server, not the transport, decides.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds Run's attempts per transaction. Default 16.
+	MaxAttempts int
+	// Backoff shapes the per-stream inter-attempt delay. Jitter is
+	// drawn per attempt from the process-global source (goroutine-safe)
+	// unless Backoff.Jitter is set.
+	Backoff exec.Backoff
+	// OnRollback, when non-nil, receives every partial-rollback
+	// notification routed to any of this Mux's streams. It must be
+	// safe for concurrent use.
+	OnRollback func(wire.RolledBack)
+	// Metrics, when non-nil, accumulates attempt/retry counters and
+	// commit latencies across every stream.
+	Metrics *obs.ClientMetrics
+}
+
+// Mux is a multiplexed client: one shared socket carrying many
+// concurrent transactions, each on its own v3 stream. Unlike Client it
+// IS safe for concurrent use — call Run from as many goroutines as you
+// like; each call allocates a stream, ships the program as one tagged
+// BeginProgram frame, and waits for the verdict tagged back to it,
+// while a single reader goroutine demultiplexes replies. Transport
+// failures fail every in-flight stream with a retryable error and the
+// next attempt redials transparently.
+type Mux struct {
+	cfg MuxConfig
+
+	// wmu serializes writes to the shared socket; wbuf is the reused
+	// encode buffer.
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	conn    net.Conn
+	epoch   int64 // increments per successful dial; guards stale readers
+	next    uint32
+	pending map[uint32]*muxStream
+	closed  bool
+}
+
+// muxStream is the demux endpoint of one in-flight request.
+type muxStream struct {
+	// term receives the single terminal verdict (cap 1, never blocks
+	// the reader: the server sends exactly one terminal per stream and
+	// connection teardown only fires once).
+	term chan muxVerdict
+	// notes receives rollback notifications; droppable, like the
+	// server's own notification path.
+	notes chan wire.RolledBack
+}
+
+type muxVerdict struct {
+	m   wire.Msg
+	err error
+}
+
+// errMuxClosed is returned by calls on a closed Mux.
+var errMuxClosed = errors.New("client: mux closed")
+
+// NewMux creates a Mux. No connection is made until the first request.
+func NewMux(cfg MuxConfig) *Mux {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 16
+	}
+	return &Mux{cfg: cfg, pending: map[uint32]*muxStream{}}
+}
+
+// Close closes the socket and fails every in-flight stream.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	nc := m.conn
+	m.conn = nil
+	failed := m.pending
+	m.pending = map[uint32]*muxStream{}
+	m.mu.Unlock()
+	var err error
+	if nc != nil {
+		err = nc.Close()
+	}
+	deliverLost(failed, errMuxClosed)
+	return err
+}
+
+// ensure returns the live connection, dialing (and starting that
+// connection's reader) if needed.
+func (m *Mux) ensure() (net.Conn, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, 0, errMuxClosed
+	}
+	if m.conn != nil {
+		return m.conn, m.epoch, nil
+	}
+	dial := m.cfg.Dial
+	if dial == nil {
+		addr := m.cfg.Addr
+		dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 5*time.Second) }
+	}
+	nc, err := dial()
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: dial: %w", err)
+	}
+	m.conn = nc
+	m.epoch++
+	go m.readLoop(nc, m.epoch)
+	return nc, m.epoch, nil
+}
+
+// readLoop is one connection epoch's demultiplexer: the only goroutine
+// reading the socket. Replies are routed to their stream's endpoint;
+// a read failure fails every stream of this epoch.
+func (m *Mux) readLoop(nc net.Conn, ep int64) {
+	br := bufio.NewReader(nc)
+	for {
+		f, _, err := wire.ReadFrame(br)
+		if err != nil {
+			m.teardown(nc, ep, err)
+			return
+		}
+		if !f.Tagged {
+			continue // not ours; a multiplexed client only sends tagged frames
+		}
+		m.mu.Lock()
+		st := m.pending[f.Stream]
+		m.mu.Unlock()
+		if st == nil {
+			continue // stream gave up (timeout) before the verdict arrived
+		}
+		switch x := f.Msg.(type) {
+		case wire.RolledBack:
+			select {
+			case st.notes <- x:
+			default:
+			}
+		default:
+			select {
+			case st.term <- muxVerdict{m: f.Msg}:
+			default:
+			}
+		}
+	}
+}
+
+// teardown retires a failed connection epoch: in-flight streams get a
+// retryable transport error and the next attempt redials.
+func (m *Mux) teardown(nc net.Conn, ep int64, cause error) {
+	m.mu.Lock()
+	if m.epoch != ep || m.conn != nc {
+		m.mu.Unlock() // a newer epoch owns the state
+		return
+	}
+	m.conn = nil
+	failed := m.pending
+	m.pending = map[uint32]*muxStream{}
+	m.mu.Unlock()
+	nc.Close()
+	deliverLost(failed, cause)
+}
+
+func deliverLost(failed map[uint32]*muxStream, cause error) {
+	for _, st := range failed {
+		select {
+		case st.term <- muxVerdict{err: fmt.Errorf("client: connection lost: %w", cause)}:
+		default:
+		}
+	}
+}
+
+// openStream allocates a stream ID on epoch ep and registers its demux
+// endpoint. It fails if the epoch died between ensure and here (the
+// caller retries).
+func (m *Mux) openStream(ep int64) (uint32, *muxStream, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, nil, errMuxClosed
+	}
+	if m.epoch != ep || m.conn == nil {
+		return 0, nil, errors.New("client: connection lost while opening stream")
+	}
+	for {
+		m.next++
+		if _, taken := m.pending[m.next]; !taken {
+			break
+		}
+	}
+	st := &muxStream{term: make(chan muxVerdict, 1), notes: make(chan wire.RolledBack, 32)}
+	m.pending[m.next] = st
+	return m.next, st, nil
+}
+
+func (m *Mux) closeStream(stream uint32) {
+	m.mu.Lock()
+	delete(m.pending, stream)
+	m.mu.Unlock()
+}
+
+// writeTagged encodes one tagged frame and writes it; writes from
+// concurrent streams are serialized on the shared socket.
+func (m *Mux) writeTagged(nc net.Conn, stream uint32, msg wire.Msg) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	buf, err := wire.AppendTagged(m.wbuf[:0], stream, msg)
+	if err != nil {
+		return err
+	}
+	m.wbuf = buf
+	_ = nc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	_, err = nc.Write(buf)
+	return err
+}
+
+// RunOnce submits prog on a fresh stream and waits for its verdict: a
+// Result when the server committed it, a *ServerError when the server
+// refused or rolled it back (check Retryable), a transport or timeout
+// error otherwise. Safe for concurrent use.
+func (m *Mux) RunOnce(prog *txn.Program) (*Result, error) {
+	frame, err := wire.ProgramFrame(prog)
+	if err != nil {
+		return nil, err
+	}
+	nc, ep, err := m.ensure()
+	if err != nil {
+		return nil, err
+	}
+	stream, st, err := m.openStream(ep)
+	if err != nil {
+		return nil, err
+	}
+	defer m.closeStream(stream)
+	if err := m.writeTagged(nc, stream, frame); err != nil {
+		m.teardown(nc, ep, err)
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	res := &Result{Attempts: 1}
+	timeout := time.NewTimer(m.cfg.RequestTimeout)
+	defer timeout.Stop()
+	for {
+		select {
+		case x := <-st.notes:
+			res.RolledBack = append(res.RolledBack, x)
+			if m.cfg.OnRollback != nil {
+				m.cfg.OnRollback(x)
+			}
+		case v := <-st.term:
+			// Collect notifications that raced the verdict.
+			for {
+				select {
+				case x := <-st.notes:
+					res.RolledBack = append(res.RolledBack, x)
+					if m.cfg.OnRollback != nil {
+						m.cfg.OnRollback(x)
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if v.err != nil {
+				return nil, v.err
+			}
+			switch x := v.m.(type) {
+			case wire.Committed:
+				res.Txn = x.Txn
+				res.Outcome = x.Stats
+				res.Locals = make(map[string]int64, len(x.Locals))
+				for _, d := range x.Locals {
+					res.Locals[d.Name] = d.Val
+				}
+				return res, nil
+			case wire.Error:
+				// Stream-level refusals never desync the shared socket;
+				// the connection stays up for every other stream.
+				return res, &ServerError{Code: x.Code, Msg: x.Msg}
+			default:
+				return nil, fmt.Errorf("client: %w: unexpected %s reply", wire.ErrProtocol, v.m.Type())
+			}
+		case <-timeout.C:
+			// The server may still deliver a verdict later; it is
+			// dropped by the reader once the stream deregisters.
+			return res, fmt.Errorf("client: stream %d: no verdict within %v", stream, m.cfg.RequestTimeout)
+		}
+	}
+}
+
+// Run submits prog and re-runs it on retryable failures with jittered
+// exponential backoff — each concurrent stream backs off independently
+// — until it commits, fails terminally, attempts run out, or ctx ends.
+func (m *Mux) Run(ctx context.Context, prog *txn.Program) (*Result, error) {
+	var (
+		last     *Result
+		rollback []wire.RolledBack
+	)
+	start := time.Now()
+	attempts, err := exec.Retry(ctx, m.cfg.MaxAttempts, m.cfg.Backoff, nil,
+		func(context.Context) error {
+			if mt := m.cfg.Metrics; mt != nil {
+				mt.Attempts.Add(1)
+			}
+			r, err := m.RunOnce(prog)
+			if r != nil {
+				rollback = append(rollback, r.RolledBack...)
+				if mt := m.cfg.Metrics; mt != nil {
+					mt.RollbacksObserved.Add(int64(len(r.RolledBack)))
+				}
+			}
+			last = r
+			return err
+		}, Retryable)
+	if mt := m.cfg.Metrics; mt != nil && attempts > 1 {
+		mt.Retries.Add(int64(attempts - 1))
+	}
+	if err != nil {
+		if mt := m.cfg.Metrics; mt != nil {
+			mt.Failures.Add(1)
+		}
+		return nil, err
+	}
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.ObserveCommit(time.Since(start))
+	}
+	last.Attempts = attempts
+	last.RolledBack = rollback
+	return last, nil
+}
+
+// Stats requests the server's counter snapshot over its own stream,
+// without disturbing in-flight transactions.
+func (m *Mux) Stats() ([]wire.Counter, error) {
+	nc, ep, err := m.ensure()
+	if err != nil {
+		return nil, err
+	}
+	stream, st, err := m.openStream(ep)
+	if err != nil {
+		return nil, err
+	}
+	defer m.closeStream(stream)
+	if err := m.writeTagged(nc, stream, wire.Stats{}); err != nil {
+		m.teardown(nc, ep, err)
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	timeout := time.NewTimer(m.cfg.RequestTimeout)
+	defer timeout.Stop()
+	select {
+	case v := <-st.term:
+		if v.err != nil {
+			return nil, v.err
+		}
+		switch x := v.m.(type) {
+		case wire.StatsReply:
+			return x.Counters, nil
+		case wire.Error:
+			return nil, &ServerError{Code: x.Code, Msg: x.Msg}
+		default:
+			return nil, fmt.Errorf("client: %w: unexpected %s reply", wire.ErrProtocol, v.m.Type())
+		}
+	case <-timeout.C:
+		return nil, fmt.Errorf("client: stream %d: no stats reply within %v", stream, m.cfg.RequestTimeout)
+	}
+}

@@ -81,6 +81,26 @@ func (n *Notifier) OnEvent(e core.Event) {
 // executes between context checks.
 const ctxCheckInterval = 256
 
+// BurstAdaptive, passed as the burst argument of StepToCommitBurst,
+// selects contention-adaptive burst sizing instead of a fixed size: an
+// unblocked transaction with no waiters runs bursts up to
+// AdaptiveMaxBurst, and the size collapses to 1 the moment the
+// transaction blocks, is rolled back, or other transactions are found
+// waiting on its locks (probed via core.Engine.Waiters every
+// adaptiveProbeInterval attempted steps), then doubles back up on each
+// full burst of uncontended progress. Burst=1 semantics are exactly the
+// classic loop, so conflicts still resolve at operation granularity.
+const BurstAdaptive = -1
+
+// AdaptiveMaxBurst is the burst ceiling in adaptive mode — the size an
+// uncontended transaction converges to.
+const AdaptiveMaxBurst = 64
+
+// adaptiveProbeInterval is how many attempted steps may pass between
+// Waiters probes in adaptive mode. Probing costs one engine-mutex
+// acquisition, so it is throttled rather than per-burst.
+const adaptiveProbeInterval = 64
+
 // StepToCommit drives one transaction to commit: it steps the
 // transaction while it progresses and parks on wake while it waits.
 // When the engine rolls the transaction back (deadlock victim, wound,
@@ -110,21 +130,35 @@ func StepToCommit(ctx context.Context, sys core.Engine, id txn.ID, wake <-chan s
 // maxSteps bounds attempted engine operations (waiting polls count one
 // so a livelocked transaction cannot spin forever against a zero
 // budget); burst is clamped so one burst never overruns the remaining
-// budget.
+// budget. burst < 0 (BurstAdaptive) sizes bursts adaptively from the
+// transaction's observed contention — see BurstAdaptive.
 func StepToCommitBurst(ctx context.Context, sys core.Engine, id txn.ID, wake <-chan struct{}, maxSteps, burst int) error {
 	if maxSteps <= 0 {
 		maxSteps = 1_000_000
 	}
+	adaptive := burst < 0
+	if adaptive {
+		burst = AdaptiveMaxBurst
+	}
 	if burst < 1 {
 		burst = 1
 	}
-	nextCheck := 0
+	nextCheck, nextProbe := 0, 0
 	for steps := 0; steps < maxSteps; {
 		if steps >= nextCheck {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			nextCheck = steps + ctxCheckInterval
+		}
+		if adaptive && steps >= nextProbe {
+			// Holding the engine for a long burst while others wait on
+			// our locks stretches their wait; collapse to
+			// operation-granular stepping until the waiters clear.
+			if sys.Waiters(id) > 0 {
+				burst = 1
+			}
+			nextProbe = steps + adaptiveProbeInterval
 		}
 		b := burst
 		if rem := maxSteps - steps; b > rem {
@@ -151,6 +185,16 @@ func StepToCommitBurst(ctx context.Context, sys core.Engine, id txn.ID, wake <-c
 			}
 			return nil
 		case core.Progressed, core.SelfRolledBack:
+			if adaptive {
+				if res.Outcome == core.SelfRolledBack {
+					burst = 1 // we just lost work to contention
+				} else if n >= b && burst < AdaptiveMaxBurst {
+					burst *= 2 // a full uncontended burst: grow back
+					if burst > AdaptiveMaxBurst {
+						burst = AdaptiveMaxBurst
+					}
+				}
+			}
 			// Yield between bursts so concurrent transactions interleave
 			// — the paper's model of interleaved atomic operations.
 			// Without this a driver on GOMAXPROCS=1 runs every
@@ -159,6 +203,9 @@ func StepToCommitBurst(ctx context.Context, sys core.Engine, id txn.ID, wake <-c
 			runtime.Gosched()
 			continue
 		case core.Blocked, core.BlockedDeadlock, core.StillWaiting:
+			if adaptive {
+				burst = 1 // contended: step operation-granular on resume
+			}
 			if st, err := sys.Status(id); err == nil && st == core.StatusRunning {
 				continue // rolled back or granted during the same step
 			}

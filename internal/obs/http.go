@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"partialrollback/internal/core"
+	"partialrollback/internal/txn"
 )
 
 // AdminOptions wires an admin mux to a running engine.
@@ -26,6 +27,26 @@ type AdminOptions struct {
 	// Queued, when non-nil, is appended to /debug/txns output (the
 	// sharded engine's admission queue).
 	Queued func() []KV
+	// Owners, when non-nil, annotates each /debug/txns entry with the
+	// connection and stream currently driving that transaction (wire it
+	// to the network server's Owners method) — the tool for finding
+	// which socket a stuck stream belongs to.
+	Owners func() map[txn.ID]TxnOwner
+}
+
+// TxnOwner identifies the connection (and, on multiplexed
+// connections, the v3 stream) driving a transaction. It mirrors the
+// server package's TxnOwner; obs keeps its own copy so the admin
+// surface does not depend on the server.
+type TxnOwner struct {
+	// Conn is the connection's serial number (1-based accept order).
+	Conn int64 `json:"conn"`
+	// Addr is the connection's remote address.
+	Addr string `json:"addr"`
+	// Stream is the v3 stream ID; meaningful only when Tagged.
+	Stream uint32 `json:"stream"`
+	// Tagged reports whether the transaction arrived on a v3 stream.
+	Tagged bool `json:"tagged"`
 }
 
 // SnapshotsOf extracts per-shard debug snapshots from any engine that
@@ -92,13 +113,17 @@ func NewAdminMux(o AdminOptions) *http.ServeMux {
 		if o.Queued != nil {
 			queued = o.Queued()
 		}
+		var owners map[txn.ID]TxnOwner
+		if o.Owners != nil {
+			owners = o.Owners()
+		}
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, txnsText(snaps, queued))
+			fmt.Fprint(w, txnsText(snaps, queued, owners))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, txnsJSON(snaps, queued))
+		writeJSON(w, txnsJSON(snaps, queued, owners))
 	})
 	if o.Tracer != nil {
 		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -232,15 +257,21 @@ func waitforJSON(snaps []core.DebugSnapshot) map[string]any {
 }
 
 // txnsJSON shapes /debug/txns's JSON reply.
-func txnsJSON(snaps []core.DebugSnapshot, queued []KV) map[string]any {
+func txnsJSON(snaps []core.DebugSnapshot, queued []KV, owners map[txn.ID]TxnOwner) map[string]any {
 	type txnView struct {
 		core.TxnSnapshot
-		Shard int `json:"shard"`
+		Shard int       `json:"shard"`
+		Owner *TxnOwner `json:"owner,omitempty"`
 	}
 	txns := []txnView{}
 	for _, s := range snaps {
 		for _, t := range s.Txns {
-			txns = append(txns, txnView{TxnSnapshot: t, Shard: s.Shard})
+			v := txnView{TxnSnapshot: t, Shard: s.Shard}
+			if o, ok := owners[t.ID]; ok {
+				o := o
+				v.Owner = &o
+			}
+			txns = append(txns, v)
 		}
 	}
 	sort.Slice(txns, func(i, j int) bool { return txns[i].ID < txns[j].ID })
@@ -256,7 +287,7 @@ func txnsJSON(snaps []core.DebugSnapshot, queued []KV) map[string]any {
 }
 
 // txnsText renders the transaction table for humans.
-func txnsText(snaps []core.DebugSnapshot, queued []KV) string {
+func txnsText(snaps []core.DebugSnapshot, queued []KV, owners map[txn.ID]TxnOwner) string {
 	var b strings.Builder
 	for _, s := range snaps {
 		fmt.Fprintf(&b, "shard %d: %d txn(s)\n", s.Shard, len(s.Txns))
@@ -272,6 +303,12 @@ func txnsText(snaps []core.DebugSnapshot, queued []KV) string {
 			}
 			if t.WaitingOn != "" {
 				fmt.Fprintf(&b, " waiting-on=%s", t.WaitingOn)
+			}
+			if o, ok := owners[t.ID]; ok {
+				fmt.Fprintf(&b, " conn=%d(%s)", o.Conn, o.Addr)
+				if o.Tagged {
+					fmt.Fprintf(&b, " stream=%d", o.Stream)
+				}
 			}
 			b.WriteByte('\n')
 		}

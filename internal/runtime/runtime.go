@@ -44,7 +44,9 @@ type Options struct {
 	MaxStepsPerTxn int
 	// Burst is the maximum number of consecutive steps a transaction
 	// runs per engine-lock acquisition (core.Engine.StepBurst); 0 or 1
-	// is the classic one-step-per-acquisition loop.
+	// is the classic one-step-per-acquisition loop, and
+	// exec.BurstAdaptive (-1) adapts the burst to contention (grow to
+	// 64 while uncontended, collapse to 1 when the engine has waiters).
 	Burst int
 	// Shards selects the engine: 0 or 1 runs a single core.System, a
 	// larger value partitions the engine into that many shards

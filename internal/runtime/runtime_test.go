@@ -6,6 +6,7 @@ import (
 
 	"partialrollback/internal/core"
 	"partialrollback/internal/entity"
+	"partialrollback/internal/exec"
 	"partialrollback/internal/sim"
 )
 
@@ -62,12 +63,13 @@ func TestConcurrentWithPrevention(t *testing.T) {
 }
 
 // TestConcurrentBurst runs the concurrent driver with burst stepping
-// (run with -race): at every burst level, unsharded and sharded, a
-// contended banking workload must fully commit, keep the store's sum
+// (run with -race): at every burst level, including adaptive
+// (exec.BurstAdaptive = -1), unsharded and sharded, a contended
+// banking workload must fully commit, keep the store's sum
 // constraint, and stay conflict-serializable — bursting amortizes
 // engine-lock acquisitions but must not coarsen conflict resolution.
 func TestConcurrentBurst(t *testing.T) {
-	for _, burst := range []int{1, 4, 16, 64} {
+	for _, burst := range []int{1, 4, 16, 64, exec.BurstAdaptive} {
 		for _, shards := range []int{0, 4} {
 			t.Run(fmt.Sprintf("burst%d/shards%d", burst, shards), func(t *testing.T) {
 				const accounts, transfers = 6, 40

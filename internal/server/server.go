@@ -1,24 +1,36 @@
 // Package server exposes a core.System over TCP: the network
 // transaction service of the partial-rollback engine.
 //
-// One session goroutine serves each connection. A client ships a whole
-// transaction program (Begin, operations, Commit — see internal/wire),
-// the session registers it and drives it to commit with the shared
-// re-execution loop from internal/exec: when the engine picks the
-// transaction as a deadlock victim it is partially rolled back and the
-// loop transparently re-executes it from the rollback point, exactly as
-// the in-process runtime does. Each §2 rollback is streamed to the
-// client as a RolledBack notification; the final reply is Committed
-// (with the transaction's outcome counters) or an Error frame.
+// Each connection is served by a connection object with exactly one
+// reader and one writer goroutine. A client ships a whole transaction
+// program (Begin, operations, Commit — see internal/wire), the server
+// registers it and drives it to commit with the shared re-execution
+// loop from internal/exec: when the engine picks the transaction as a
+// deadlock victim it is partially rolled back and the loop
+// transparently re-executes it from the rollback point, exactly as the
+// in-process runtime does. Each §2 rollback is streamed to the client
+// as a RolledBack notification; the final reply is Committed (with the
+// transaction's outcome counters) or an Error frame.
+//
+// Protocols v1 (per-operation frames) and v2 (whole-program frames)
+// run one transaction at a time per connection, handled inline by the
+// reader exactly as previous releases did. Protocol v3 multiplexes: a
+// tagged BeginProgram frame opens a stream, the reader dispatches it
+// to a bounded per-connection worker pool, and thousands of streams
+// execute concurrently over the one socket. Replies carry the stream
+// tag back, and the writer coalesces frames across all streams into
+// single writes. Every accepted stream is guaranteed a terminal reply
+// (Committed or Error), shutdown included.
 //
 // The server bounds everything: concurrent sessions (with a bounded
 // accept backlog beyond which connections are refused with CodeBusy),
-// per-message read deadlines, and a per-transaction execution deadline
-// after which the transaction is rolled back to its initial state and
-// the client told to retry (CodeRolledBack). Shutdown drains in-flight
-// transactions until the caller's context expires, then rolls back the
-// rest, so the store is always left consistent and no goroutine
-// outlives the server.
+// streams per connection (past MaxStreams new streams get the
+// retryable CodeBusy), per-message read deadlines, and a
+// per-transaction execution deadline after which the transaction is
+// rolled back to its initial state and the client told to retry
+// (CodeRolledBack). Shutdown drains in-flight transactions until the
+// caller's context expires, then rolls back the rest, so the store is
+// always left consistent and no goroutine outlives the server.
 package server
 
 import (
@@ -72,8 +84,22 @@ type Config struct {
 	// is the classic one-step-per-acquisition loop. Larger bursts
 	// amortize engine mutex handoffs across operations; conflicts still
 	// resolve at operation granularity and the burst bound keeps
-	// scheduling fair.
+	// scheduling fair. Negative selects exec.BurstAdaptive: bursts up
+	// to exec.AdaptiveMaxBurst while a transaction is uncontended,
+	// collapsing to 1 the moment it blocks, is rolled back, or has
+	// waiters on its locks.
 	Burst int
+	// MaxStreams bounds concurrently active v3 streams per connection;
+	// past it new streams are refused with the retryable CodeBusy.
+	// Default 4096.
+	MaxStreams int
+	// StreamWorkers bounds each connection's worker pool executing
+	// tagged streams. Default: MaxStreams — a worker per active stream
+	// at peak, so a blocked transaction never queues behind the lock
+	// holder it is waiting for. Lower values bound per-connection
+	// engine concurrency at the cost of such queueing (resolved by the
+	// request timeout and client retry).
+	StreamWorkers int
 	// StarvationLimit forwards to core.Config.StarvationLimit.
 	StarvationLimit int
 	// Shards selects the engine: 0 or 1 serves a single core.System, a
@@ -100,8 +126,8 @@ type Config struct {
 // with Listen (or serve individual connections with ServeConn), stop
 // with Shutdown.
 type Server struct {
-	cfg   Config
-	sys   core.Engine
+	cfg Config
+	sys core.Engine
 	// sharded is non-nil when the engine is a shard.Engine; it exposes
 	// the per-shard counter snapshots.
 	sharded *shard.Engine
@@ -114,7 +140,7 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]bool
-	routes   map[txn.ID]*session
+	routes   map[txn.ID]sender
 	draining bool
 
 	sem     chan struct{}
@@ -123,6 +149,8 @@ type Server struct {
 
 	sessionsTotal  atomic.Int64
 	sessionsActive atomic.Int64
+	streamsTotal   atomic.Int64
+	streamsActive  atomic.Int64
 	txnsServed     atomic.Int64
 	bytesIn        atomic.Int64
 	bytesOut       atomic.Int64
@@ -149,6 +177,12 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = 4096
+	}
+	if cfg.StreamWorkers <= 0 {
+		cfg.StreamWorkers = cfg.MaxStreams
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -157,7 +191,7 @@ func New(cfg Config) *Server {
 		notif:   exec.NewNotifier(),
 		drainCh: make(chan struct{}),
 		conns:   map[net.Conn]bool{},
-		routes:  map[txn.ID]*session{},
+		routes:  map[txn.ID]sender{},
 		sem:     make(chan struct{}, cfg.MaxSessions),
 		backlog: make(chan struct{}, cfg.Backlog),
 	}
@@ -188,15 +222,16 @@ func New(cfg Config) *Server {
 func (s *Server) System() core.Engine { return s.sys }
 
 // onEvent fans engine events out to the wake notifier, the owning
-// session's rollback-notification stream, and the configured tap.
+// connection's rollback-notification stream (tagged with the owning
+// stream ID on multiplexed connections), and the configured tap.
 func (s *Server) onEvent(e core.Event) {
 	s.notif.OnEvent(e)
 	if e.Kind == core.EventRollback {
 		s.mu.Lock()
-		sess := s.routes[e.Txn]
+		sn, routed := s.routes[e.Txn]
 		s.mu.Unlock()
-		if sess != nil {
-			sess.trySend(wire.RolledBack{
+		if routed {
+			sn.trySend(wire.RolledBack{
 				Txn:         int64(e.Txn),
 				ToLockState: int64(e.ToLockState),
 				FromState:   e.FromState,
@@ -411,6 +446,8 @@ func (s *Server) Counters() []wire.Counter {
 		{Name: "sessions_active", Val: s.sessionsActive.Load()},
 		{Name: "sessions_total", Val: s.sessionsTotal.Load()},
 		{Name: "steps", Val: st.Steps},
+		{Name: "streams_active", Val: s.streamsActive.Load()},
+		{Name: "streams_total", Val: s.streamsTotal.Load()},
 		{Name: "txns_served", Val: s.txnsServed.Load()},
 		{Name: "waits", Val: st.Waits},
 		{Name: "writer_flushes", Val: s.writerFlushes.Load()},
@@ -443,104 +480,202 @@ func (s *Server) Counters() []wire.Counter {
 	return out
 }
 
-// session serves one connection.
-type session struct {
-	srv  *Server
-	conn net.Conn
+// TxnOwner identifies the connection (and, on multiplexed
+// connections, the v3 stream) currently driving a transaction.
+type TxnOwner struct {
+	// Conn is the connection's serial number (1-based accept order).
+	Conn int64
+	// Addr is the connection's remote address.
+	Addr string
+	// Stream is the v3 stream ID; meaningful only when Tagged.
+	Stream uint32
+	// Tagged reports whether the transaction arrived on a v3 stream.
+	Tagged bool
+}
+
+// Owners snapshots, for every transaction currently being driven by a
+// connection, which connection and stream owns it — the admin
+// /debug/txns annotation for finding stuck streams.
+func (s *Server) Owners() map[txn.ID]TxnOwner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[txn.ID]TxnOwner, len(s.routes))
+	for id, sn := range s.routes {
+		out[id] = TxnOwner{Conn: sn.c.id, Addr: sn.c.addr, Stream: sn.stream, Tagged: sn.tagged}
+	}
+	return out
+}
+
+// conn serves one connection: one reader goroutine (the connection's
+// main loop), one writer goroutine coalescing replies across every
+// stream, and — once the peer opens v3 tagged streams — a lazily grown,
+// bounded pool of worker goroutines each driving one stream's
+// transaction at a time.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	// id is the connection's serial number (1-based accept order).
+	id int64
+	// addr is the remote address, captured at accept time.
+	addr string
 	// br buffers the connection's read side. Clients flush a whole
 	// transaction's message sequence in one write, so buffering turns
 	// the ~2 read syscalls per message into ~2 per transaction; all
-	// reads must go through br (buffered bytes are invisible to conn).
+	// reads must go through br (buffered bytes are invisible to nc).
 	br *bufio.Reader
 
 	outMu     sync.Mutex
-	out       chan wire.Msg
+	out       chan outFrame
 	outClosed bool
+
+	// tasks feeds accepted streams to the workers; only the reader
+	// sends and closes, so no send can race the close. Its capacity
+	// only bounds the reader's headroom over the pool — active streams
+	// are bounded by MaxStreams, not by this.
+	tasks chan streamTask
+	// muxWG counts live workers; runConn waits for it before closing
+	// the writer so every accepted stream can deliver its terminal
+	// reply.
+	muxWG sync.WaitGroup
+
+	// streamMu guards the stream table and worker count.
+	streamMu sync.Mutex
+	streams  map[uint32]bool
+	workers  int
 }
 
-// trySend enqueues a message without blocking (notifications are
-// droppable; the engine mutex may be held by the caller).
-func (ss *session) trySend(m wire.Msg) {
-	ss.outMu.Lock()
-	defer ss.outMu.Unlock()
-	if ss.outClosed {
-		return
-	}
-	select {
-	case ss.out <- m:
-	default:
-		ss.srv.notifyDropped.Add(1)
-	}
+// outFrame is one queued reply: a message addressed to a stream
+// (tagged, v3) or to the connection itself (untagged, v1/v2).
+type outFrame struct {
+	stream uint32
+	tagged bool
+	m      wire.Msg
+}
+
+// streamTask is one accepted stream awaiting a worker.
+type streamTask struct {
+	sn sender
+	bp wire.BeginProgram
+}
+
+// sender addresses replies: the untagged v1/v2 reply path (zero
+// stream, tagged=false) or one v3 stream of a multiplexed connection.
+// It is the value stored in Server.routes so rollback notifications
+// reach the right stream.
+type sender struct {
+	c      *conn
+	stream uint32
+	tagged bool
 }
 
 // send enqueues a reply, blocking until the writer drains it. The
 // writer never stops consuming before the channel closes, so this
 // cannot deadlock.
-func (ss *session) send(m wire.Msg) {
-	ss.outMu.Lock()
-	if ss.outClosed {
-		ss.outMu.Unlock()
+func (sn sender) send(m wire.Msg) { sn.c.send(outFrame{sn.stream, sn.tagged, m}) }
+
+// trySend enqueues a message without blocking (notifications are
+// droppable; the engine mutex may be held by the caller).
+func (sn sender) trySend(m wire.Msg) { sn.c.trySend(outFrame{sn.stream, sn.tagged, m}) }
+
+func (c *conn) trySend(f outFrame) {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
+	if c.outClosed {
 		return
 	}
-	ss.outMu.Unlock()
-	ss.out <- m
-}
-
-func (ss *session) closeOut() {
-	ss.outMu.Lock()
-	defer ss.outMu.Unlock()
-	if !ss.outClosed {
-		ss.outClosed = true
-		close(ss.out)
+	select {
+	case c.out <- f:
+	default:
+		c.srv.notifyDropped.Add(1)
 	}
 }
 
-func (s *Server) runSession(conn net.Conn) {
-	s.sessionsTotal.Add(1)
+func (c *conn) send(f outFrame) {
+	c.outMu.Lock()
+	if c.outClosed {
+		c.outMu.Unlock()
+		return
+	}
+	c.outMu.Unlock()
+	c.out <- f
+}
+
+func (c *conn) closeOut() {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
+	if !c.outClosed {
+		c.outClosed = true
+		close(c.out)
+	}
+}
+
+// streamTaskBuf is the tasks-channel capacity: the reader's headroom
+// over the worker pool before dispatching applies backpressure.
+const streamTaskBuf = 256
+
+func (s *Server) runSession(nc net.Conn) {
+	connID := s.sessionsTotal.Add(1)
 	s.sessionsActive.Add(1)
 	defer s.sessionsActive.Add(-1)
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		conn.Close()
+		nc.Close()
 		return
 	}
-	s.conns[conn] = true
+	s.conns[nc] = true
 	s.mu.Unlock()
 
-	ss := &session{srv: s, conn: conn, br: bufio.NewReader(conn), out: make(chan wire.Msg, 128)}
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		id:      connID,
+		addr:    nc.RemoteAddr().String(),
+		br:      bufio.NewReader(nc),
+		out:     make(chan outFrame, 128),
+		tasks:   make(chan streamTask, streamTaskBuf),
+		streams: map[uint32]bool{},
+	}
+	un := sender{c: c} // the untagged v1/v2 reply path
 
 	// Writer: the single goroutine that touches the connection's write
-	// side. It coalesces: every frame already queued behind the one just
-	// received is encoded into the same buffer and the batch goes out in
-	// one conn.Write, so a burst of notifications plus the final reply
-	// costs one write syscall instead of one each. On write failure it
-	// keeps draining so senders never block.
+	// side. It coalesces across streams: every frame already queued
+	// behind the one just received — terminal replies and notifications
+	// of any stream, in any order — is encoded into the same buffer and
+	// the batch goes out in one nc.Write, so a burst of replies costs
+	// one write syscall instead of one each. On write failure it keeps
+	// draining so senders never block.
 	const writerSoftCap = 64 << 10 // flush once a batch passes 64 KiB
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		failed := false
 		var buf []byte
-		encode := func(m wire.Msg) {
+		encode := func(f outFrame) {
 			if failed {
 				return
 			}
-			nb, err := wire.AppendMsg(buf, m)
+			var nb []byte
+			var err error
+			if f.tagged {
+				nb, err = wire.AppendTagged(buf, f.stream, f.m)
+			} else {
+				nb, err = wire.AppendMsg(buf, f.m)
+			}
 			if err != nil {
-				s.cfg.Logf("server: encode %s: %v", m.Type(), err)
+				s.cfg.Logf("server: encode %s: %v", f.m.Type(), err)
 				return
 			}
 			buf = nb
 			s.framesOut.Add(1)
 		}
-		for m := range ss.out {
-			encode(m)
+		for f := range c.out {
+			encode(f)
 		drain:
 			for len(buf) < writerSoftCap {
 				select {
-				case queued, ok := <-ss.out:
+				case queued, ok := <-c.out:
 					if !ok {
 						break drain
 					}
@@ -557,8 +692,8 @@ func (s *Server) runSession(conn net.Conn) {
 			// who may immediately request a counter snapshot.
 			s.bytesOut.Add(int64(len(buf)))
 			s.writerFlushes.Add(1)
-			_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-			if _, err := conn.Write(buf); err != nil {
+			_ = nc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if _, err := nc.Write(buf); err != nil {
 				failed = true
 			}
 			buf = buf[:0]
@@ -566,11 +701,17 @@ func (s *Server) runSession(conn net.Conn) {
 	}()
 
 	defer func() {
-		ss.closeOut()
+		// Reader is done: no new streams. Let the workers finish every
+		// accepted stream (each delivers a terminal reply) before the
+		// writer is told no more frames are coming; only then close the
+		// socket.
+		close(c.tasks)
+		c.muxWG.Wait()
+		c.closeOut()
 		<-writerDone
-		conn.Close()
+		nc.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, nc)
 		s.mu.Unlock()
 	}()
 
@@ -578,8 +719,8 @@ func (s *Server) runSession(conn net.Conn) {
 		if s.isDraining() {
 			return
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		m, n, err := wire.ReadMsg(ss.br)
+		_ = nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		f, n, err := wire.ReadFrame(c.br)
 		s.bytesIn.Add(int64(n))
 		if err != nil {
 			// Idle sessions (between transactions) are closed without
@@ -588,47 +729,141 @@ func (s *Server) runSession(conn net.Conn) {
 			// stall the drain on the write.
 			if errors.Is(err, wire.ErrProtocol) {
 				s.protoErrors.Add(1)
-				ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+				un.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 			}
 			return
 		}
 		s.framesIn.Add(1)
-		switch x := m.(type) {
+		if f.Tagged {
+			if closeConn := s.handleTagged(c, f); closeConn {
+				return
+			}
+			continue
+		}
+		switch x := f.Msg.(type) {
 		case wire.Stats:
-			ss.send(wire.StatsReply{Counters: s.Counters()})
+			un.send(wire.StatsReply{Counters: s.Counters()})
 		case wire.Begin:
-			if closeConn := s.handleTxn(ss, x); closeConn {
+			if closeConn := s.handleTxn(c, x); closeConn {
 				return
 			}
 		case wire.BeginProgram:
-			if closeConn := s.handleProgram(ss, x); closeConn {
+			if closeConn := s.handleProgram(un, x); closeConn {
 				return
 			}
 		default:
 			s.protoErrors.Add(1)
-			ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected %s outside transaction", m.Type())})
+			un.send(wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected %s outside transaction", f.Msg.Type())})
 			return
 		}
 	}
 }
 
+// handleTagged routes one v3 frame: Stats is answered inline on its
+// stream, BeginProgram opens a stream and is dispatched to the worker
+// pool. It reports whether the connection must be closed.
+func (s *Server) handleTagged(c *conn, f wire.Frame) (closeConn bool) {
+	sn := sender{c: c, stream: f.Stream, tagged: true}
+	switch x := f.Msg.(type) {
+	case wire.Stats:
+		sn.send(wire.StatsReply{Counters: s.Counters()})
+		return false
+	case wire.BeginProgram:
+		return s.dispatchStream(c, sn, x)
+	default:
+		// Taggable but server-bound only (Committed, RolledBack, ...):
+		// the peer is confused; desync.
+		s.protoErrors.Add(1)
+		sn.send(wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected %s on stream %d", f.Msg.Type(), f.Stream)})
+		return true
+	}
+}
+
+// dispatchStream admits one stream against the per-connection limits
+// and hands it to the worker pool, growing the pool if it is below its
+// bound. A duplicate active stream ID means the two sides disagree
+// about stream state — a desync, so the connection is closed. Hitting
+// MaxStreams is load, not confusion: the stream is refused with the
+// retryable CodeBusy and the connection lives on.
+func (s *Server) dispatchStream(c *conn, sn sender, bp wire.BeginProgram) (closeConn bool) {
+	c.streamMu.Lock()
+	if c.streams[sn.stream] {
+		c.streamMu.Unlock()
+		s.protoErrors.Add(1)
+		sn.send(wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("stream %d already active", sn.stream)})
+		return true
+	}
+	if len(c.streams) >= s.cfg.MaxStreams {
+		c.streamMu.Unlock()
+		sn.send(wire.Error{Code: wire.CodeBusy, Msg: "per-connection stream limit reached"})
+		return false
+	}
+	c.streams[sn.stream] = true
+	spawn := c.workers < s.cfg.StreamWorkers
+	if spawn {
+		c.workers++
+	}
+	c.streamMu.Unlock()
+	s.streamsTotal.Add(1)
+	s.streamsActive.Add(1)
+	if spawn {
+		c.muxWG.Add(1)
+		go c.worker()
+	}
+	c.tasks <- streamTask{sn: sn, bp: bp}
+	return false
+}
+
+func (c *conn) worker() {
+	defer c.muxWG.Done()
+	for t := range c.tasks {
+		c.srv.serveStream(t.sn, t.bp)
+	}
+}
+
+// serveStream drives one stream's transaction to its terminal reply.
+// Unlike the single-transaction paths, a stream-level failure ends only
+// the stream: thousands of healthy streams may share the connection,
+// so the conn is never closed from here.
+func (s *Server) serveStream(sn sender, bp wire.BeginProgram) {
+	defer func() {
+		sn.c.streamMu.Lock()
+		delete(sn.c.streams, sn.stream)
+		sn.c.streamMu.Unlock()
+		s.streamsActive.Add(-1)
+	}()
+	if s.isDraining() {
+		sn.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+		return
+	}
+	prog, err := bp.Program()
+	if err != nil {
+		sn.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return
+	}
+	s.execTxn(sn, prog)
+}
+
 // handleTxn consumes the rest of one v1 transaction's message sequence
-// (one frame per operation), executes it, and replies. It reports
-// whether the connection must be closed (protocol desync or shutdown).
-func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
+// (one frame per operation), executes it, and replies. It runs in the
+// reader goroutine (the stateful v1 sequence owns the connection until
+// its Commit frame). It reports whether the connection must be closed
+// (protocol desync or shutdown).
+func (s *Server) handleTxn(c *conn, begin wire.Begin) (closeConn bool) {
+	un := sender{c: c}
 	asm := wire.NewAssembler(begin)
 	for {
-		_ = ss.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		m, n, err := wire.ReadMsg(ss.br)
+		_ = c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		m, n, err := wire.ReadMsg(c.br)
 		s.bytesIn.Add(int64(n))
 		if err != nil {
 			if errors.Is(err, wire.ErrProtocol) {
 				s.protoErrors.Add(1)
-				ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+				un.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 			} else if s.isDraining() {
-				ss.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+				un.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
 			} else {
-				ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: "connection error mid-transaction"})
+				un.send(wire.Error{Code: wire.CodeBadRequest, Msg: "connection error mid-transaction"})
 			}
 			return true
 		}
@@ -636,7 +871,7 @@ func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 		done, err := asm.Feed(m)
 		if err != nil {
 			s.protoErrors.Add(1)
-			ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+			un.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 			return true
 		}
 		if done {
@@ -644,49 +879,49 @@ func (s *Server) handleTxn(ss *session, begin wire.Begin) (closeConn bool) {
 		}
 	}
 	if s.isDraining() {
-		ss.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+		un.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
 		return true
 	}
 	prog, err := asm.Program()
 	if err != nil {
 		// The message stream was well-formed; only the program was
 		// invalid. The session may submit further transactions.
-		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		un.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 		return false
 	}
-	return s.execTxn(ss, prog)
+	return s.execTxn(un, prog)
 }
 
 // handleProgram executes a v2 whole-program frame — the single-frame
 // equivalent of handleTxn with nothing left to read off the wire.
-func (s *Server) handleProgram(ss *session, bp wire.BeginProgram) (closeConn bool) {
+func (s *Server) handleProgram(sn sender, bp wire.BeginProgram) (closeConn bool) {
 	if s.isDraining() {
-		ss.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
+		sn.send(wire.Error{Code: wire.CodeShutdown, Msg: "server shutting down"})
 		return true
 	}
 	prog, err := bp.Program()
 	if err != nil {
 		// The frame was well-formed; only the program was invalid. The
 		// session may submit further transactions.
-		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		sn.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 		return false
 	}
-	return s.execTxn(ss, prog)
+	return s.execTxn(sn, prog)
 }
 
 // execTxn registers prog, drives it to commit with the shared
-// re-execution loop, and sends the verdict. Shared by the v1 per-message
-// and v2 whole-frame paths.
-func (s *Server) execTxn(ss *session, prog *txn.Program) (closeConn bool) {
+// re-execution loop, and sends the verdict to sn. Shared by the v1
+// per-message, v2 whole-frame, and v3 stream paths.
+func (s *Server) execTxn(sn sender, prog *txn.Program) (closeConn bool) {
 	id, err := s.sys.Register(prog)
 	if err != nil {
-		ss.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		sn.send(wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 		return false
 	}
 	s.txnsServed.Add(1)
 	wake := s.notif.Register(id)
 	s.mu.Lock()
-	s.routes[id] = ss
+	s.routes[id] = sn
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -700,10 +935,10 @@ func (s *Server) execTxn(ss *session, prog *txn.Program) (closeConn bool) {
 	cancel()
 	switch {
 	case err == nil:
-		ss.send(s.committedReply(id))
+		sn.send(s.committedReply(id))
 		return false
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		return s.abortAndReply(ss, id)
+		return s.abortAndReply(sn, id)
 	default:
 		s.cfg.Logf("server: txn %v: %v", id, err)
 		if aerr := s.sys.Abort(id); aerr != nil && !errors.Is(aerr, core.ErrCommitted) {
@@ -713,7 +948,7 @@ func (s *Server) execTxn(ss *session, prog *txn.Program) (closeConn bool) {
 				s.cfg.Logf("server: abort %v: %v", id, aerr)
 			}
 		}
-		ss.send(wire.Error{Code: wire.CodeInternal, Msg: err.Error()})
+		sn.send(wire.Error{Code: wire.CodeInternal, Msg: err.Error()})
 		return true
 	}
 }
@@ -722,7 +957,7 @@ func (s *Server) execTxn(ss *session, prog *txn.Program) (closeConn bool) {
 // back. Races with completion are benign: a transaction that committed
 // first is reported as committed; one already in its shrinking phase
 // can never block again and is stepped to commit synchronously.
-func (s *Server) abortAndReply(ss *session, id txn.ID) (closeConn bool) {
+func (s *Server) abortAndReply(sn sender, id txn.ID) (closeConn bool) {
 	err := s.sys.Abort(id)
 	switch {
 	case err == nil:
@@ -730,7 +965,7 @@ func (s *Server) abortAndReply(ss *session, id txn.ID) (closeConn bool) {
 		if s.isDraining() {
 			code, msg = wire.CodeShutdown, "server shutting down; transaction rolled back"
 		}
-		ss.send(wire.Error{Code: code, Msg: msg})
+		sn.send(wire.Error{Code: code, Msg: msg})
 		return s.isDraining()
 	case errors.Is(err, core.ErrCommitted):
 		// The commit raced the deadline, so the interrupted exec loop
@@ -739,22 +974,22 @@ func (s *Server) abortAndReply(ss *session, id txn.ID) (closeConn bool) {
 		if s.cfg.Durable != nil {
 			if derr := s.cfg.Durable.Barrier(); derr != nil {
 				s.cfg.Logf("server: txn %v: commit not durable: %v", id, derr)
-				ss.send(wire.Error{Code: wire.CodeInternal, Msg: derr.Error()})
+				sn.send(wire.Error{Code: wire.CodeInternal, Msg: derr.Error()})
 				return true
 			}
 		}
-		ss.send(s.committedReply(id))
+		sn.send(s.committedReply(id))
 		return false
 	case errors.Is(err, core.ErrShrinking):
 		if derr := s.drainShrinking(id); derr != nil {
 			s.cfg.Logf("server: drain %v: %v", id, derr)
-			ss.send(wire.Error{Code: wire.CodeInternal, Msg: derr.Error()})
+			sn.send(wire.Error{Code: wire.CodeInternal, Msg: derr.Error()})
 			return true
 		}
-		ss.send(s.committedReply(id))
+		sn.send(s.committedReply(id))
 		return false
 	default:
-		ss.send(wire.Error{Code: wire.CodeInternal, Msg: err.Error()})
+		sn.send(wire.Error{Code: wire.CodeInternal, Msg: err.Error()})
 		return true
 	}
 }

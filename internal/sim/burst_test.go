@@ -75,12 +75,15 @@ func TestBurstOneIsStepRegression(t *testing.T) {
 
 // TestBurstPropertySerializable is the bursty twin of the central
 // randomized sweep: random workloads at every burst level (including
-// far past program length) under every rollback strategy, unsharded
-// and sharded, must terminate, keep engine invariants, stay
-// conflict-serializable, and leave the database in the state of their
-// own equivalent serial order.
+// far past program length, and the adaptive mode Burst=-1) under every
+// rollback strategy, unsharded and sharded, must terminate, keep
+// engine invariants, stay conflict-serializable, and leave the
+// database in the state of their own equivalent serial order. That the
+// adaptive runs terminate within the step budget is also the
+// no-starvation check: a blocked transaction whose burst collapsed to
+// 1 must still be scheduled through to commit.
 func TestBurstPropertySerializable(t *testing.T) {
-	for _, burst := range []int{2, 4, 16, 64} {
+	for _, burst := range []int{-1, 2, 4, 16, 64} {
 		for _, shards := range []int{0, 3} {
 			for _, strat := range []core.Strategy{core.Total, core.MCS, core.SDG} {
 				name := fmt.Sprintf("burst%d/shards%d/%v", burst, shards, strat)

@@ -71,6 +71,92 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrame throws arbitrary payloads at the version-dispatching
+// frame decoder. Untagged frames must decode exactly as Decode does; a
+// v3 payload must be refused by Decode; and anything DecodeFrame
+// accepts must re-encode (EncodeTagged or Encode, by Tagged) and
+// re-decode to the same frame — the stream tag round-trips alongside
+// the message.
+func FuzzDecodeFrame(f *testing.F) {
+	tagged := []struct {
+		stream uint32
+		m      Msg
+	}{
+		{5, BeginProgram{Name: "P"}},
+		{1, BeginProgram{
+			Name:   "xfer",
+			Locals: []LocalDecl{{"t", 0}},
+			Ops: []txn.Op{
+				{Kind: txn.OpLockX, Entity: "e0"},
+				{Kind: txn.OpRead, Entity: "e0", Local: "t"},
+				{Kind: txn.OpCompute, Local: "t", Expr: value.Add(value.L("t"), value.C(1))},
+				{Kind: txn.OpWrite, Entity: "e0", Expr: value.L("t")},
+				{Kind: txn.OpCommit},
+			},
+		}},
+		{9, Stats{}},
+		{7, Committed{Txn: 3, Stats: TxnOutcome{OpsExecuted: 5}}},
+		{2, RolledBack{Txn: 1, Lost: 4}},
+		{3, Error{Code: CodeBusy, Msg: "full"}},
+		{MaxStream, StatsReply{Counters: []Counter{{"grants", 2}}}},
+	}
+	for _, s := range tagged {
+		frame, err := EncodeTagged(s.stream, s.m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	// Untagged seeds keep the fuzzer exploring the v1/v2 dispatch arm.
+	for _, m := range []Msg{Lock{Entity: "e0"}, Committed{Txn: 3}, BeginProgram{Name: "P"}} {
+		frame, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	// Hand-built v3 edges: a truncated stream varint, a stream tag past
+	// MaxStream, and an untaggable v1 type under a v3 version byte.
+	f.Add([]byte{Version3, 0xFF})
+	f.Add([]byte{Version3, 0x80, 0x80, 0x80, 0x80, 0x10, byte(TStats)})
+	f.Add([]byte{Version3, 0x01, byte(TLock), 0, 1, 'e'})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := DecodeFrame(payload)
+		if err != nil {
+			return
+		}
+		if fr.Tagged {
+			if _, err := Decode(payload); err == nil {
+				t.Fatalf("Decode accepted a v3 payload: %#v", fr)
+			}
+		} else {
+			m, err := Decode(payload)
+			if err != nil {
+				t.Fatalf("DecodeFrame accepted what Decode refuses: %#v: %v", fr, err)
+			}
+			if !reflect.DeepEqual(m, fr.Msg) {
+				t.Fatalf("DecodeFrame and Decode disagree: %#v != %#v", fr.Msg, m)
+			}
+		}
+		var frame []byte
+		if fr.Tagged {
+			frame, err = EncodeTagged(fr.Stream, fr.Msg)
+		} else {
+			frame, err = Encode(fr.Msg)
+		}
+		if err != nil {
+			t.Fatalf("decoded frame failed to encode: %#v: %v", fr, err)
+		}
+		fr2, err := DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %#v: %v", fr, err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("re-decode mismatch: %#v != %#v", fr, fr2)
+		}
+	})
+}
+
 // FuzzReadMsg exercises the framing layer with arbitrary streams,
 // including short reads and garbage lengths.
 func FuzzReadMsg(f *testing.F) {

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"partialrollback/internal/txn"
+	"partialrollback/internal/value"
+)
+
+// taggableMsgs is one instance of every message type that may travel
+// stream-tagged.
+func taggableMsgs() []Msg {
+	return []Msg{
+		BeginProgram{Name: "P"},
+		BeginProgram{
+			Name:   "xfer",
+			Locals: []LocalDecl{{"t", 0}},
+			Ops: []txn.Op{
+				{Kind: txn.OpLockX, Entity: "e0"},
+				{Kind: txn.OpRead, Entity: "e0", Local: "t"},
+				{Kind: txn.OpCompute, Local: "t", Expr: value.Add(value.L("t"), value.C(1))},
+				{Kind: txn.OpWrite, Entity: "e0", Expr: value.L("t")},
+				{Kind: txn.OpCommit},
+			},
+		},
+		Stats{},
+		Committed{Txn: 42, Locals: []LocalDecl{{"a", 9}}, Stats: TxnOutcome{
+			OpsExecuted: 10, OpsLost: 3, Rollbacks: 2, Restarts: 1, Waits: 4}},
+		RolledBack{Txn: 7, ToLockState: 2, FromState: 19, ToState: 13, Lost: 6},
+		Error{Code: CodeBusy, Msg: "full"},
+		StatsReply{Counters: []Counter{{"grants", 12}, {"waits", -1}}},
+	}
+}
+
+func TestTaggedRoundTrip(t *testing.T) {
+	streams := []uint32{0, 1, 5, 1 << 20, MaxStream}
+	for _, m := range taggableMsgs() {
+		for _, stream := range streams {
+			frame, err := EncodeTagged(stream, m)
+			if err != nil {
+				t.Fatalf("encode %T stream %d: %v", m, stream, err)
+			}
+			f, err := DecodeFrame(frame[4:])
+			if err != nil {
+				t.Fatalf("decode %T stream %d: %v", m, stream, err)
+			}
+			if !f.Tagged || f.Stream != stream {
+				t.Fatalf("%T: got tagged=%v stream=%d, want tagged stream %d",
+					m, f.Tagged, f.Stream, stream)
+			}
+			if !reflect.DeepEqual(f.Msg, m) {
+				t.Fatalf("%T round trip: got %#v, want %#v", m, f.Msg, m)
+			}
+		}
+	}
+}
+
+// TestTaggedBodyMatchesUntagged pins the v3 layout: after the version
+// byte and stream tag, a tagged frame's body is byte-identical to the
+// same message's untagged body. A v2-aware reader and a v3-aware reader
+// therefore share one message codec.
+func TestTaggedBodyMatchesUntagged(t *testing.T) {
+	for _, m := range taggableMsgs() {
+		plain, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		tagged, err := EncodeTagged(5, m)
+		if err != nil {
+			t.Fatalf("encode tagged %T: %v", m, err)
+		}
+		// plain: [len][ver][body...]; tagged: [len][3][0x05][body...].
+		if !bytes.Equal(tagged[6:], plain[5:]) {
+			t.Fatalf("%T: tagged body %x != untagged body %x", m, tagged[6:], plain[5:])
+		}
+		if tagged[4] != Version3 || tagged[5] != 5 {
+			t.Fatalf("%T: tagged prefix %x, want version 3 stream 5", m, tagged[4:6])
+		}
+	}
+}
+
+func TestTaggedRejectsUntaggable(t *testing.T) {
+	for _, m := range []Msg{
+		Begin{Name: "T1"}, Lock{Entity: "e0"}, Unlock{Entity: "e0"},
+		Read{Entity: "e0", Local: "a"}, LastLock{}, Commit{},
+	} {
+		if _, err := EncodeTagged(1, m); err == nil {
+			t.Errorf("EncodeTagged accepted %T; the v1 stateful sequence must not be taggable", m)
+		}
+	}
+}
+
+// TestDecodeRejectsV3 pins the compatibility boundary: the v1/v2-only
+// entry points must refuse tagged frames so a pre-v3 peer fails loudly
+// instead of misparsing the stream tag.
+func TestDecodeRejectsV3(t *testing.T) {
+	frame, err := EncodeTagged(5, Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(frame[4:]); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Decode on a v3 payload: got %v, want ErrProtocol", err)
+	}
+	if _, _, err := ReadMsg(bytes.NewReader(frame)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("ReadMsg on a v3 frame: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"truncated stream tag", []byte{Version3, 0xFF}},
+		{"missing type", []byte{Version3, 0x01}},
+		{"stream overflow", append([]byte{Version3, 0x80, 0x80, 0x80, 0x80, 0x10}, byte(TStats))},
+		{"untaggable type", []byte{Version3, 0x01, byte(TLock), 0, 1, 'e'}},
+		{"trailing garbage", append(mustTagged(t, 1, Stats{}), 0xAA)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.payload); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: got %v, want ErrProtocol", tc.name, err)
+		}
+	}
+}
+
+// mustTagged returns the payload (no length prefix) of a tagged frame.
+func mustTagged(t *testing.T, stream uint32, m Msg) []byte {
+	t.Helper()
+	frame, err := EncodeTagged(stream, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame[4:]
+}
+
+// TestReadFrameMixedVersions drives ReadFrame over a stream
+// interleaving all three protocol versions — the exact byte sequence a
+// server sees when v1, v2, and v3 clients share its accept loop (here
+// concatenated as one stream for the codec's sake).
+func TestReadFrameMixedVersions(t *testing.T) {
+	var stream []byte
+	var err error
+	stream, err = AppendMsg(stream, Lock{Entity: "e0", Exclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = AppendMsg(stream, BeginProgram{Name: "P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = AppendTagged(stream, 7, Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = AppendTagged(stream, 3, Committed{Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(stream)
+	want := []Frame{
+		{Msg: Lock{Entity: "e0", Exclusive: true}},
+		{Msg: BeginProgram{Name: "P"}},
+		{Stream: 7, Tagged: true, Msg: Stats{}},
+		{Stream: 3, Tagged: true, Msg: Committed{Txn: 1}},
+	}
+	read := 0
+	for i, w := range want {
+		f, n, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		read += n
+		if !reflect.DeepEqual(f, w) {
+			t.Fatalf("frame %d: got %#v, want %#v", i, f, w)
+		}
+	}
+	if read != len(stream) {
+		t.Fatalf("consumed %d bytes of %d", read, len(stream))
+	}
+	if _, _, err := ReadFrame(r); err == nil {
+		t.Fatal("expected EOF after last frame")
+	}
+}
+
+// TestAppendTaggedBatches mirrors TestAppendMsgBatches for the v3
+// framing: many tagged frames coalesced into one buffer decode back
+// frame by frame.
+func TestAppendTaggedBatches(t *testing.T) {
+	var buf []byte
+	var err error
+	for stream := uint32(1); stream <= 40; stream++ {
+		buf, err = AppendTagged(buf, stream, Committed{Txn: int64(stream)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for stream := uint32(1); stream <= 40; stream++ {
+		f, _, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("stream %d: %v", stream, err)
+		}
+		if f.Stream != stream || !f.Tagged {
+			t.Fatalf("got stream %d (tagged=%v), want %d", f.Stream, f.Tagged, stream)
+		}
+		if c, ok := f.Msg.(Committed); !ok || c.Txn != int64(stream) {
+			t.Fatalf("stream %d: got %#v", stream, f.Msg)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left over", r.Len())
+	}
+}

@@ -24,6 +24,18 @@
 // clients coexist on one server with no handshake, and server replies
 // are v1 either way.
 //
+// Protocol v3 adds stream multiplexing: a v3 frame carries a
+// client-chosen stream ID between the version byte and the message, so
+// one connection interleaves many concurrent transactions and the
+// server routes each reply (and rollback notification) back to the
+// stream that submitted the program. Only whole-program submissions and
+// their replies may be tagged (BeginProgram, Stats client->server;
+// Committed, RolledBack, Error, StatsReply server->client) — the
+// stateful v1 per-operation sequence cannot interleave and stays
+// untagged. As with v2, negotiation is per-frame: v1, v2 and v3 traffic
+// coexist on one connection, and untagged frames keep their exact v1/v2
+// byte encoding.
+//
 // Everything decoded from the network is bounds-checked: frame size,
 // string length, op and local counts, and expression size/depth all
 // have hard limits, so a malicious or corrupted peer cannot force large
@@ -54,10 +66,20 @@ const Version byte = 1
 // BeginProgram frames carry this version byte.
 const Version2 byte = 2
 
+// Version3 tags a frame with a stream ID so one connection carries many
+// concurrent transactions. A v3 payload is the version byte, the stream
+// ID as a uvarint, then the tagged message encoded exactly as its v1/v2
+// body (type byte + fields). Only the multiplexable messages may be
+// tagged — see TaggableType.
+const Version3 byte = 3
+
 // Limits enforced during decoding.
 const (
 	// MaxFrame is the largest accepted payload, in bytes.
 	MaxFrame = 1 << 20
+	// MaxStream bounds v3 stream IDs (fits uint32 with room to spare;
+	// a malicious peer cannot force sparse-map blowups past it).
+	MaxStream = 1<<32 - 1
 	// MaxString bounds every decoded string (names, error messages).
 	MaxString = 1 << 10
 	// MaxLocals bounds local declarations per Begin/Committed message.
@@ -592,7 +614,72 @@ func AppendMsg(dst []byte, m Msg) ([]byte, error) {
 		ver = Version2
 	}
 	start := len(dst)
-	body := append(dst, 0, 0, 0, 0, ver, byte(m.Type()))
+	body, err := appendMsgBody(append(dst, 0, 0, 0, 0, ver), m)
+	if err != nil {
+		return nil, err
+	}
+	return finishFrame(body, start)
+}
+
+// TaggableType reports whether t may travel inside a v3 stream-tagged
+// frame: whole-program submissions and counter requests from the
+// client, verdicts and notifications from the server. The stateful v1
+// per-operation sequence (Begin..Commit) cannot interleave with other
+// streams and is excluded.
+func TaggableType(t Type) bool {
+	switch t {
+	case TBeginProgram, TStats, TCommitted, TRolledBack, TError, TStatsReply:
+		return true
+	}
+	return false
+}
+
+// Frame is one decoded frame plus its stream routing: Tagged reports a
+// v3 frame, in which case Stream carries the client-chosen stream ID.
+// Untagged (v1/v2) frames decode with Stream zero.
+type Frame struct {
+	Stream uint32
+	Tagged bool
+	Msg    Msg
+}
+
+// AppendTagged appends a complete v3 frame tagging m with stream to dst
+// and returns the extended slice — the multiplexed counterpart of
+// AppendMsg. It fails for message types that may not be tagged.
+func AppendTagged(dst []byte, stream uint32, m Msg) ([]byte, error) {
+	if !TaggableType(m.Type()) {
+		return nil, fmt.Errorf("wire: %s cannot be stream-tagged", m.Type())
+	}
+	start := len(dst)
+	body := appendUvarint(append(dst, 0, 0, 0, 0, Version3), uint64(stream))
+	body, err := appendMsgBody(body, m)
+	if err != nil {
+		return nil, err
+	}
+	return finishFrame(body, start)
+}
+
+// EncodeTagged serializes m into a complete v3 frame tagged with stream.
+func EncodeTagged(stream uint32, m Msg) ([]byte, error) {
+	return AppendTagged(nil, stream, m)
+}
+
+// finishFrame bounds-checks the payload appended since start and patches
+// in its 4-byte length prefix.
+func finishFrame(body []byte, start int) ([]byte, error) {
+	payload := len(body) - start - 4
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", payload)
+	}
+	binary.BigEndian.PutUint32(body[start:start+4], uint32(payload))
+	return body, nil
+}
+
+// appendMsgBody appends m's type byte and field encoding (everything
+// after the version prefix) to dst. Shared by the v1/v2 and v3 framings
+// so a tagged message's body is byte-identical to its untagged one.
+func appendMsgBody(dst []byte, m Msg) ([]byte, error) {
+	body := append(dst, byte(m.Type()))
 	var err error
 	switch x := m.(type) {
 	case Begin:
@@ -669,11 +756,6 @@ func AppendMsg(dst []byte, m Msg) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: cannot encode message type %T", m)
 	}
-	payload := len(body) - start - 4
-	if payload > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", payload)
-	}
-	binary.BigEndian.PutUint32(body[start:start+4], uint32(payload))
 	return body, nil
 }
 
@@ -713,7 +795,8 @@ func WriteMsg(w io.Writer, m Msg) (int, error) {
 }
 
 // Decode parses one payload (the frame with its length prefix already
-// stripped).
+// stripped). It accepts only v1 and v2 frames; a transport that must
+// also accept stream-tagged v3 frames uses DecodeFrame.
 func Decode(payload []byte) (Msg, error) {
 	if len(payload) < 2 {
 		return nil, protoErr("payload of %d bytes", len(payload))
@@ -731,9 +814,67 @@ func Decode(payload []byte) (Msg, error) {
 		return nil, protoErr("version %d, want %d or %d", payload[0], Version, Version2)
 	}
 	d := &decoder{b: payload[2:]}
+	m, err := decodeMsg(Type(payload[1]), d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeFrame parses one payload of any protocol version: v1/v2 frames
+// decode exactly as Decode does (Tagged false, Stream zero), v3 frames
+// additionally yield their stream tag.
+func DecodeFrame(payload []byte) (Frame, error) {
+	if len(payload) < 1 {
+		return Frame{}, protoErr("payload of %d bytes", len(payload))
+	}
+	switch payload[0] {
+	case Version, Version2:
+		m, err := Decode(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Msg: m}, nil
+	case Version3:
+	default:
+		return Frame{}, protoErr("version %d, want %d, %d or %d",
+			payload[0], Version, Version2, Version3)
+	}
+	d := &decoder{b: payload[1:]}
+	stream, err := d.uvarint()
+	if err != nil {
+		return Frame{}, err
+	}
+	if stream > MaxStream {
+		return Frame{}, protoErr("stream %d exceeds %d", stream, uint64(MaxStream))
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return Frame{}, err
+	}
+	if !TaggableType(Type(tag)) {
+		return Frame{}, protoErr("%s cannot be stream-tagged", Type(tag))
+	}
+	m, err := decodeMsg(Type(tag), d)
+	if err != nil {
+		return Frame{}, err
+	}
+	if err := d.done(); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Stream: uint32(stream), Tagged: true, Msg: m}, nil
+}
+
+// decodeMsg decodes the fields of one message of type t from d (the
+// version prefix and type byte already consumed). Shared by the v1/v2
+// and v3 framings.
+func decodeMsg(t Type, d *decoder) (Msg, error) {
 	var m Msg
 	var err error
-	switch Type(payload[1]) {
+	switch t {
 	case TBegin:
 		var x Begin
 		if x.Name, err = d.string(); err != nil {
@@ -870,10 +1011,7 @@ func Decode(payload []byte) (Msg, error) {
 		}
 		m = x
 	default:
-		return nil, protoErr("unknown message type %d", payload[1])
-	}
-	if err := d.done(); err != nil {
-		return nil, err
+		return nil, protoErr("unknown message type %d", byte(t))
 	}
 	return m, nil
 }
@@ -899,6 +1037,30 @@ func ReadMsg(r io.Reader) (Msg, int, error) {
 	}
 	m, err := Decode(payload)
 	return m, 4 + int(n), err
+}
+
+// ReadFrame reads one frame of any protocol version from r and decodes
+// it — the demultiplexing transport's counterpart of ReadMsg. I/O
+// failures are returned as-is; malformed content is reported wrapped in
+// ErrProtocol.
+func ReadFrame(r io.Reader) (Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, 4, protoErr("frame of %d bytes exceeds %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, 4, err
+	}
+	f, err := DecodeFrame(payload)
+	return f, 4 + int(n), err
 }
 
 // --- program <-> message translation ---

@@ -20,9 +20,17 @@ go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnsh
 
 # Burst stepping's correctness surface, likewise explicit: the burst=1
 # byte-identity regression, the serializability property sweep at every
-# burst level, and the mixed-protocol (v1 + v2 frames) server test.
+# burst level (including adaptive, burst=-1), and the mixed-protocol
+# (v1 + v2 + v3 frames) server tests.
 go test -race -count=1 -run 'TestBurstOneIsStepRegression|TestBurstPropertySerializable' ./internal/sim/
-go test -race -count=1 -run 'TestMixedProtocolClients' ./internal/server/
+go test -race -count=1 -run 'TestMixedProtocolClients|TestMixedProtocolAllVersions' ./internal/server/
+
+# Stream multiplexing's correctness surface: the v3 demux/drain unit
+# tests on both ends of the wire, then 10k concurrent streams over 4
+# sockets against a race-enabled server with an arithmetic
+# zero-lost-acks check.
+go test -race -count=1 -run 'TestMux' ./internal/server/ ./internal/client/
+./scripts/smoke_mux.sh
 
 # Durability's correctness surface, likewise explicit: the wal framing
 # and torn-tail offsets, the group-commit/recovery unit tests, and the
