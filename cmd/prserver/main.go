@@ -37,10 +37,12 @@ import (
 	"syscall"
 	"time"
 
+	"partialrollback/internal/checkpoint"
 	"partialrollback/internal/core"
 	"partialrollback/internal/deadlock"
 	"partialrollback/internal/durable"
 	"partialrollback/internal/entity"
+	"partialrollback/internal/intern"
 	"partialrollback/internal/obs"
 	"partialrollback/internal/server"
 	"partialrollback/internal/shard"
@@ -69,6 +71,10 @@ var (
 	groupWindow = flag.Duration("group-window", 2*time.Millisecond, "group-commit collection window (-fsync group only)")
 	groupMax    = flag.Int("group-max", 64, "flush a commit group early once this many commits are pending")
 	fsyncDelay  = flag.Duration("fsync-delay", 0, "benchmark knob: artificial latency added after every fsync, modeling slower stable storage (0 disables)")
+	ckptIval    = flag.Duration("checkpoint-interval", 0, "take a checkpoint (snapshot + log compaction) this often; 0 disables the time trigger (requires -wal)")
+	ckptBytes   = flag.Int64("checkpoint-bytes", 0, "take a checkpoint once this many new log bytes accumulate; 0 disables the byte trigger (requires -wal)")
+	ckptRetain  = flag.Int("retain", 2, "checkpoints kept on disk; sealed log segments are deleted only once the oldest retained checkpoint covers them")
+	ckptDelay   = flag.Duration("checkpoint-phase-delay", 0, "test knob: sleep between checkpoint phases (rotation, temp fsync, publication, removals) so a kill can land inside any crash window (0 disables)")
 	admin       = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/waitfor, /debug/txns and pprof (empty disables)")
 	traceCap    = flag.Int("trace", 0, "enable transaction tracing, retaining the last N completed traces (0 disables; requires -admin)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
@@ -177,7 +183,10 @@ func main() {
 	// Durability: recovery must run before the server is built so the
 	// engine interns the recovered store, and the WAL metrics hook onto
 	// the registry created above.
-	var walSet *durable.Set
+	var (
+		walSet  *durable.Set
+		recInfo *durable.RecoveryInfo
+	)
 	if *walDir != "" {
 		mode, err := durable.ParseSyncMode(*fsyncMode)
 		if err != nil {
@@ -212,8 +221,17 @@ func main() {
 			log.Fatal(err)
 		}
 		walSet = set
+		recInfo = rec
 		log.Printf("wal: recovered %d records (%d entities) from %d file(s) in %s (max seq %d)",
 			rec.Records, rec.Applied, rec.Files, *walDir, rec.MaxSeq)
+		if rec.CheckpointFile != "" {
+			log.Printf("wal: checkpoint base %s (frontier %d, %d entities); replayed tail of %d record(s)",
+				rec.CheckpointFile, rec.CheckpointSeq, rec.CheckpointEntities, rec.TailRecords)
+		}
+		log.Printf("wal: recovery took %s", rec.Duration)
+		if len(rec.SkippedCheckpoints) > 0 {
+			log.Printf("wal: WARNING: skipped invalid checkpoint(s) %v (storage damage, not an ordinary crash)", rec.SkippedCheckpoints)
+		}
 		if rec.TornFiles > 0 || rec.TruncatedBytes > 0 {
 			log.Printf("wal: truncated %d torn file tail(s), %d bytes discarded", rec.TornFiles, rec.TruncatedBytes)
 		}
@@ -225,8 +243,76 @@ func main() {
 		}
 		cfg.Durable = walSet
 	}
+	if (*ckptIval > 0 || *ckptBytes > 0) && walSet == nil {
+		log.Fatal("-checkpoint-interval/-checkpoint-bytes require -wal")
+	}
 
 	srv := server.New(cfg)
+
+	// Checkpointing: bounded recovery over the WAL. The snapshot
+	// adapter copies the store's slices (fast, under engine quiesce)
+	// and resolves interned names; the runner handles triggers,
+	// crash-safe writes, retention, and sealed-segment compaction.
+	// With both triggers zero no checkpointer exists at all and the
+	// durability layer behaves byte-identically to a plain -wal run.
+	var cp *checkpoint.Checkpointer
+	if *ckptIval > 0 || *ckptBytes > 0 {
+		quiescer, ok := srv.System().(core.Quiescer)
+		if !ok {
+			log.Fatal("engine does not support quiesce; cannot checkpoint")
+		}
+		store := cfg.Store
+		var snapVals []int64
+		var snapDefined []bool
+		snap := checkpoint.SnapshotFunc(func() []checkpoint.Entry {
+			snapVals, snapDefined, _ = store.SnapshotSlices(snapVals, snapDefined)
+			entries := make([]checkpoint.Entry, 0, len(snapVals))
+			for i, ok := range snapDefined {
+				if !ok {
+					continue
+				}
+				entries = append(entries, checkpoint.Entry{Name: store.NameOf(intern.ID(i)), Val: snapVals[i]})
+			}
+			return entries
+		})
+		copts := checkpoint.Options{
+			Interval:   *ckptIval,
+			Bytes:      *ckptBytes,
+			Retain:     *ckptRetain,
+			PhaseDelay: *ckptDelay,
+			Logf:       log.Printf,
+		}
+		if registry != nil {
+			ckpts := registry.NewCounter("pr_checkpoint_total", "Completed checkpoints.")
+			segsRemoved := registry.NewCounter("pr_checkpoint_segments_removed_total", "Sealed log segments compacted away.")
+			segBytes := registry.NewCounter("pr_checkpoint_segment_bytes_removed_total", "Log bytes reclaimed by compaction.")
+			quiesceDur := registry.NewDurationHistogram("pr_checkpoint_quiesce_seconds",
+				"Engine stall per checkpoint (snapshot copy under quiesce).",
+				[]time.Duration{
+					10 * time.Microsecond, 50 * time.Microsecond, 100 * time.Microsecond,
+					500 * time.Microsecond, time.Millisecond, 5 * time.Millisecond,
+					25 * time.Millisecond, 100 * time.Millisecond,
+				})
+			ckptDur := registry.NewDurationHistogram("pr_checkpoint_seconds",
+				"End-to-end checkpoint wall time (rotation through compaction).",
+				[]time.Duration{
+					time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+					25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+					250 * time.Millisecond, time.Second,
+				})
+			copts.OnCheckpoint = func(ci checkpoint.Info) {
+				ckpts.Inc()
+				segsRemoved.Add(int64(ci.SegmentsRemoved))
+				segBytes.Add(ci.SegmentBytesRemoved)
+				quiesceDur.Observe(ci.QuiesceDuration)
+				ckptDur.Observe(ci.Duration)
+			}
+		}
+		cp = checkpoint.New(walSet, quiescer, snap, copts)
+		cp.Start()
+		log.Printf("checkpoint: enabled (interval=%v bytes=%d retain=%d)", *ckptIval, *ckptBytes, *ckptRetain)
+	}
+
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
@@ -245,6 +331,31 @@ func main() {
 			}
 			return out
 		})
+		if walSet != nil {
+			registry.NewGauge("pr_wal_recovery_duration_us",
+				"Startup recovery wall time in microseconds (checkpoint load + tail replay).",
+				func() int64 { return recInfo.Duration.Microseconds() })
+			registry.NewGauge("pr_wal_sealed_segments",
+				"Sealed log segments awaiting compaction.",
+				func() int64 { return int64(len(walSet.SealedSegments())) })
+		}
+		if cp != nil {
+			registry.NewGauge("pr_checkpoint_last_frontier",
+				"WAL sequence frontier of the newest checkpoint.",
+				func() int64 { return int64(cp.Status().LastFrontier) })
+			registry.NewGauge("pr_checkpoint_age_seconds",
+				"Seconds since the newest checkpoint (0 before the first).",
+				func() int64 {
+					st := cp.Status()
+					if st.LastUnix == 0 {
+						return 0
+					}
+					return int64(time.Since(time.Unix(st.LastUnix, 0)).Seconds())
+				})
+			registry.NewGauge("pr_checkpoint_errors",
+				"Failed checkpoint attempts.",
+				func() int64 { return cp.Status().Errors })
+		}
 		opts := obs.AdminOptions{Registry: registry, Engine: srv.System(), Tracer: tracer,
 			Owners: func() map[txn.ID]obs.TxnOwner {
 				owners := srv.Owners()
@@ -254,6 +365,38 @@ func main() {
 				}
 				return out
 			}}
+		if walSet != nil {
+			opts.WAL = func() obs.WALStatus {
+				ws := obs.WALStatus{Dir: walSet.Dir(), Frontier: walSet.Frontier()}
+				for _, sh := range walSet.ShardStatus() {
+					ws.Shards = append(ws.Shards, obs.WALShard{
+						Shard:          sh.Shard,
+						ActiveBytes:    sh.ActiveBytes,
+						ActiveLastSeq:  sh.ActiveLastSeq,
+						DurableSeq:     sh.DurableSeq,
+						PendingRecords: sh.PendingRecords,
+						SealedSegments: sh.SealedSegments,
+						SealedBytes:    sh.SealedBytes,
+					})
+				}
+				if cp != nil {
+					st := cp.Status()
+					wc := obs.WALCheckpoint{
+						Checkpoints:  st.Checkpoints,
+						LastFrontier: st.LastFrontier,
+						LastEntities: st.LastEntities,
+						LastBytes:    st.LastBytes,
+						LastUnix:     st.LastUnix,
+						Errors:       st.Errors,
+					}
+					if st.LastUnix > 0 {
+						wc.AgeSeconds = time.Since(time.Unix(st.LastUnix, 0)).Seconds()
+					}
+					ws.Checkpoint = &wc
+				}
+				return ws
+			}
+		}
 		if se, ok := srv.System().(*shard.Engine); ok {
 			registry.NewGauge("pr_admission_queue_depth",
 				"Cross-shard claims queued for placement.",
@@ -289,6 +432,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain deadline hit; in-flight transactions rolled back (%v)", err)
+	}
+	if cp != nil {
+		// Stop the trigger loop (waiting out any in-flight checkpoint)
+		// before the log set closes underneath it.
+		cp.Close()
 	}
 	if walSet != nil {
 		// Final sync + close: under -fsync off this is the only fsync

@@ -76,7 +76,29 @@ type ShardSnapshotter interface {
 	DebugSnapshots() []DebugSnapshot
 }
 
+// Quiescer is implemented by engines that can briefly exclude all
+// mutation: fn runs while every internal engine mutex is held, so no
+// step, commit, install, or commit-log append can interleave anywhere
+// in the engine. The checkpoint subsystem uses it to capture a
+// commit-consistent entity snapshot together with the WAL sequence
+// frontier — under the paper's deferred-update discipline (§4) the
+// store only ever holds committed-or-unlocked values, so a snapshot
+// taken here is transaction-consistent without quiescing the workload
+// itself. fn must be fast (copy slices, read counters) and must not
+// call back into the engine.
+type Quiescer interface {
+	Quiesce(fn func())
+}
+
 var _ Snapshotter = (*System)(nil)
+var _ Quiescer = (*System)(nil)
+
+// Quiesce runs fn under the engine mutex. See Quiescer.
+func (s *System) Quiesce(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
 
 // DebugSnapshot returns a consistent point-in-time view of the system:
 // every registered transaction with its held and awaited locks, the

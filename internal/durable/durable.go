@@ -51,9 +51,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"partialrollback/internal/checkpoint"
 	"partialrollback/internal/core"
 	"partialrollback/internal/entity"
 	"partialrollback/internal/wal"
@@ -201,6 +205,26 @@ type RecoveryInfo struct {
 	// the tail — NOT expected after a clean crash; they were truncated
 	// to their clean prefix too, but callers should log this loudly.
 	CorruptFiles []string
+	// CheckpointSeq, CheckpointFile, and CheckpointEntities describe
+	// the checkpoint recovery loaded as its base, if any: the snapshot
+	// was applied first and only records with sequence numbers beyond
+	// CheckpointSeq were replayed. CheckpointFile is empty when no
+	// valid checkpoint existed (full replay).
+	CheckpointSeq      uint64
+	CheckpointFile     string
+	CheckpointEntities int
+	// SkippedCheckpoints names checkpoint files that failed validation
+	// and were passed over for an older valid one (or full replay).
+	// With the crash-safe checkpoint write discipline these indicate
+	// storage damage, not an ordinary crash — log them loudly.
+	SkippedCheckpoints []string
+	// TailRecords counts the entity records actually replayed — those
+	// past the checkpoint frontier. Without a checkpoint this is every
+	// entity record in the log set.
+	TailRecords int
+	// Duration is recovery's wall time: checkpoint load + log scan +
+	// replay into the store.
+	Duration time.Duration
 }
 
 // Set is a per-shard collection of redo logs sharing one sequence
@@ -212,18 +236,31 @@ type Set struct {
 	opts Options
 	gseq atomic.Uint64
 	logs []*Log
+
+	// smu guards sealed — the rotation-retired, immutable segments
+	// still on disk awaiting checkpoint coverage (internal/checkpoint
+	// deletes each once a retained checkpoint's frontier reaches its
+	// MaxSeq).
+	smu    sync.Mutex
+	sealed []checkpoint.Segment
 }
 
 var _ core.ShardedCommitLogger = (*Set)(nil)
+var _ checkpoint.Source = (*Set)(nil)
 
 // Open creates (or reopens) the log set in dir with one log per shard,
-// first replaying any existing logs into store: for every entity in
-// the recovered merge, the highest-sequence value is installed
-// (defining the entity if the store does not know it). Damaged file
-// tails are truncated so appending resumes from a clean prefix. The
-// returned RecoveryInfo describes what was found; inspect
-// CorruptFiles for damage beyond an ordinary torn tail.
+// first recovering existing state into store. Recovery is
+// checkpoint-aware: the newest valid checkpoint (if any) is loaded as
+// the base and only log records with sequence numbers beyond its
+// frontier are replayed — for every such entity, the highest-sequence
+// value is installed (defining the entity if the store does not know
+// it). Damaged file tails are truncated so appending resumes from a
+// clean prefix; a torn checkpoint is skipped for an older valid one,
+// falling back to full replay when none exists. The returned
+// RecoveryInfo describes what was found; inspect CorruptFiles and
+// SkippedCheckpoints for damage beyond an ordinary torn tail.
 func Open(dir string, shards int, store *entity.Store, opts Options) (*Set, *RecoveryInfo, error) {
+	start := time.Now()
 	if shards < 1 {
 		shards = 1
 	}
@@ -246,6 +283,41 @@ func Open(dir string, shards int, store *entity.Store, opts Options) (*Set, *Rec
 	}
 
 	info := &RecoveryInfo{}
+
+	// A crash between a checkpoint temp write and its rename leaves a
+	// stale .tmp behind; it was never part of the durable state.
+	if _, err := checkpoint.RemoveTemps(dir); err != nil {
+		return nil, nil, err
+	}
+
+	// Checkpoint base: apply the snapshot first, then replay only the
+	// tail behind its frontier. Entries were sorted by name at write
+	// time, so intern-ID assignment for new names stays deterministic.
+	ck, ckPath, skipped, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.SkippedCheckpoints = skipped
+	var frontier uint64
+	if ck != nil {
+		frontier = ck.Frontier
+		info.CheckpointSeq = ck.Frontier
+		info.CheckpointFile = filepath.Base(ckPath)
+		info.CheckpointEntities = len(ck.Entries)
+		info.MaxSeq = frontier
+		for _, e := range ck.Entries {
+			if store.Exists(e.Name) {
+				if err := store.Install(e.Name, e.Val); err != nil {
+					return nil, nil, fmt.Errorf("durable: checkpoint %q: %w", e.Name, err)
+				}
+			} else {
+				store.Define(e.Name, e.Val)
+			}
+		}
+	}
+
+	// The glob covers both active segments (wal-<k>.log) and sealed
+	// ones (wal-<k>.sealed-<maxseq>.log).
 	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: %w", err)
@@ -255,22 +327,52 @@ func Open(dir string, shards int, store *entity.Store, opts Options) (*Set, *Rec
 		val int64
 		seq uint64
 	}
+	type activeState struct {
+		bytes   int64
+		lastSeq uint64
+	}
 	latest := map[string]latestVal{}
+	actives := map[int]activeState{}
+	var sealedSegs []checkpoint.Segment
 	for _, path := range paths {
 		recs, err := recoverFile(path, info)
 		if err != nil {
 			return nil, nil, err
 		}
+		var fileMax uint64
 		for _, r := range recs {
 			if r.Seq > info.MaxSeq {
 				info.MaxSeq = r.Seq
 			}
+			if r.Seq > fileMax {
+				fileMax = r.Seq
+			}
 			if r.Name == "" {
 				continue // commit-group marker, not an entity
 			}
+			if r.Seq <= frontier {
+				continue // already reflected in the checkpoint base
+			}
+			info.TailRecords++
 			if lv, ok := latest[r.Name]; !ok || r.Seq > lv.seq {
 				latest[r.Name] = latestVal{val: r.Value, seq: r.Seq}
 			}
+		}
+		base := filepath.Base(path)
+		if shard, maxSeq, ok := parseSealedName(base); ok {
+			var size int64
+			if st, err := os.Stat(path); err == nil {
+				size = st.Size()
+			}
+			sealedSegs = append(sealedSegs, checkpoint.Segment{
+				Shard: shard, Path: path, MaxSeq: maxSeq, Bytes: size,
+			})
+		} else if shard, ok := parseActiveName(base); ok {
+			var size int64
+			if st, err := os.Stat(path); err == nil {
+				size = st.Size() // recoverFile already truncated any damage
+			}
+			actives[shard] = activeState{bytes: size, lastSeq: fileMax}
 		}
 	}
 	names := make([]string, 0, len(latest))
@@ -290,19 +392,58 @@ func Open(dir string, shards int, store *entity.Store, opts Options) (*Set, *Rec
 		info.Applied++
 	}
 
-	s := &Set{dir: dir, opts: opts}
+	s := &Set{dir: dir, opts: opts, sealed: sealedSegs}
 	s.gseq.Store(info.MaxSeq)
 	for k := 0; k < shards; k++ {
-		f, err := wal.Create(filepath.Join(dir, fmt.Sprintf("wal-%d.log", k)))
+		p := filepath.Join(dir, fmt.Sprintf("wal-%d.log", k))
+		f, err := wal.Create(p)
 		if err != nil {
 			for _, l := range s.logs {
 				l.close()
 			}
 			return nil, nil, err
 		}
-		s.logs = append(s.logs, newLog(s, k, f))
+		a := actives[k]
+		s.logs = append(s.logs, newLog(s, k, f, p, a.bytes, a.lastSeq))
 	}
+	info.Duration = time.Since(start)
 	return s, info, nil
+}
+
+// parseActiveName recognises an active segment name, wal-<k>.log.
+func parseActiveName(base string) (shard int, ok bool) {
+	mid := strings.TrimSuffix(strings.TrimPrefix(base, "wal-"), ".log")
+	if len(mid)+8 != len(base) {
+		return 0, false
+	}
+	k, err := strconv.Atoi(mid)
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+// parseSealedName recognises a sealed segment name,
+// wal-<k>.sealed-<maxseq>.log (maxseq zero-padded at seal time so the
+// directory listing sorts chronologically per shard).
+func parseSealedName(base string) (shard int, maxSeq uint64, ok bool) {
+	mid := strings.TrimSuffix(strings.TrimPrefix(base, "wal-"), ".log")
+	if len(mid)+8 != len(base) {
+		return 0, 0, false
+	}
+	shardStr, seqStr, found := strings.Cut(mid, ".sealed-")
+	if !found {
+		return 0, 0, false
+	}
+	k, err := strconv.Atoi(shardStr)
+	if err != nil || k < 0 {
+		return 0, 0, false
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return k, seq, true
 }
 
 // recoverFile scans one log, truncating any damaged tail in place so
@@ -429,3 +570,108 @@ func (s *Set) Dir() string { return s.dir }
 
 // Logs returns the number of member logs.
 func (s *Set) Logs() int { return len(s.logs) }
+
+// Frontier returns the current global sequence number: every record
+// appended so far, on any log, carries a sequence number <= the
+// returned value. Read under an engine Quiesce (core.Quiescer), the
+// installed store state corresponds exactly to the log prefix up to
+// the frontier — installs and sequence assignment both happen under
+// the engine mutex — which is what makes a quiesced snapshot plus this
+// number a valid checkpoint.
+func (s *Set) Frontier() uint64 { return s.gseq.Load() }
+
+// AppendedBytes returns the total log bytes durably written by this
+// process — the checkpoint byte-trigger's input. Recovery-replayed
+// bytes are not included; the trigger measures new growth.
+func (s *Set) AppendedBytes() int64 { return s.Stats().Bytes }
+
+// Rotate seals every shard's active segment that has records in it
+// (sync + close + rename to wal-<k>.sealed-<maxseq>.log + fresh active
+// file) and registers the sealed segments for later compaction.
+// Appends continue concurrently — they queue while their shard
+// rotates. Shards whose active file is empty are skipped.
+func (s *Set) Rotate() error {
+	var first error
+	for _, l := range s.logs {
+		seg, rotated, err := l.rotate()
+		if err != nil && first == nil {
+			first = err
+		}
+		if rotated {
+			s.smu.Lock()
+			s.sealed = append(s.sealed, seg)
+			s.smu.Unlock()
+		}
+	}
+	return first
+}
+
+// SealedSegments returns the sealed segments currently on disk, in
+// the order they were discovered or rotated (oldest first per shard).
+func (s *Set) SealedSegments() []checkpoint.Segment {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return append([]checkpoint.Segment(nil), s.sealed...)
+}
+
+// RemoveSealed deletes one sealed segment from disk and from the
+// set's bookkeeping. Only safe once a retained checkpoint's frontier
+// has reached seg.MaxSeq — the checkpointer enforces that against the
+// OLDEST retained checkpoint, so even recovery that falls back past
+// the newest checkpoint finds every record it needs. The directory is
+// fsynced so bounded disk usage survives a crash (a resurrected
+// segment would merely be replayed and re-deleted, but the bound is
+// part of the contract).
+func (s *Set) RemoveSealed(seg checkpoint.Segment) error {
+	if err := os.Remove(seg.Path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: remove segment: %w", err)
+	}
+	if err := wal.SyncDir(s.dir); err != nil {
+		return err
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	for i := range s.sealed {
+		if s.sealed[i].Path == seg.Path {
+			s.sealed = append(s.sealed[:i], s.sealed[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// ShardLogStatus is one shard log's accounting, as served by the
+// /debug/wal admin endpoint.
+type ShardLogStatus struct {
+	Shard int `json:"shard"`
+	// ActiveBytes and ActiveLastSeq cover the active segment file:
+	// durably written size and the highest sequence number flushed to
+	// it (zero right after a rotation).
+	ActiveBytes   int64  `json:"activeBytes"`
+	ActiveLastSeq uint64 `json:"activeLastSeq"`
+	// DurableSeq is the highest sequence number fsynced on this log.
+	DurableSeq uint64 `json:"durableSeq"`
+	// PendingRecords counts records queued but not yet flushed.
+	PendingRecords int `json:"pendingRecords"`
+	// SealedSegments and SealedBytes cover this shard's sealed,
+	// not-yet-compacted segments.
+	SealedSegments int   `json:"sealedSegments"`
+	SealedBytes    int64 `json:"sealedBytes"`
+}
+
+// ShardStatus reports per-shard log accounting for the admin surface.
+func (s *Set) ShardStatus() []ShardLogStatus {
+	out := make([]ShardLogStatus, len(s.logs))
+	for k, l := range s.logs {
+		out[k] = l.status()
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	for _, seg := range s.sealed {
+		if seg.Shard >= 0 && seg.Shard < len(out) {
+			out[seg.Shard].SealedSegments++
+			out[seg.Shard].SealedBytes += seg.Bytes
+		}
+	}
+	return out
+}

@@ -179,7 +179,7 @@ func TestReadOnlyCommitWaitsForTail(t *testing.T) {
 	gate := make(chan struct{})
 	f := &gateFile{gate: gate}
 	s := &Set{opts: Options{Mode: SyncAlways}}
-	s.logs = []*Log{newLog(s, 0, f)}
+	s.logs = []*Log{newLog(s, 0, f, "", 0, 0)}
 
 	wAck := s.LogCommit(commit(w("e0", 1)))
 	rAck := s.LogCommit(nil)
@@ -233,7 +233,7 @@ func TestInstallRidesNextFlush(t *testing.T) {
 func TestWriteErrorFailsCommitAndSticks(t *testing.T) {
 	f := &failFile{writeErr: errors.New("injected: disk full")}
 	s := &Set{opts: Options{Mode: SyncAlways}}
-	s.logs = []*Log{newLog(s, 0, f)}
+	s.logs = []*Log{newLog(s, 0, f, "", 0, 0)}
 
 	err := s.LogCommit(commit(w("e0", 1))).Wait()
 	if err == nil || !strings.Contains(err.Error(), "disk full") {
@@ -255,7 +255,7 @@ func TestWriteErrorFailsCommitAndSticks(t *testing.T) {
 func TestFsyncErrorFailsCommit(t *testing.T) {
 	f := &failFile{syncErr: errors.New("injected: fsync lost")}
 	s := &Set{opts: Options{Mode: SyncGroup}}
-	s.logs = []*Log{newLog(s, 0, f)}
+	s.logs = []*Log{newLog(s, 0, f, "", 0, 0)}
 	err := s.LogCommit(commit(w("e0", 1))).Wait()
 	if err == nil || !strings.Contains(err.Error(), "fsync lost") {
 		t.Fatalf("ack err = %v", err)

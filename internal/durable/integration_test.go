@@ -129,7 +129,7 @@ func TestConcurrentFsyncErrorFailsCommits(t *testing.T) {
 	w := sim.CounterWorkload(4, 16, 3)
 	store := w.NewStore()
 	set := &Set{opts: Options{Mode: SyncGroup}}
-	set.logs = []*Log{newLog(set, 0, &failFile{syncErr: errors.New("injected: device lost")})}
+	set.logs = []*Log{newLog(set, 0, &failFile{syncErr: errors.New("injected: device lost")}, "", 0, 0)}
 	defer set.Close()
 
 	_, err := runtime.Run(store, w.Programs, runtime.Options{

@@ -3,9 +3,12 @@ package durable
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"partialrollback/internal/checkpoint"
 	"partialrollback/internal/core"
 	"partialrollback/internal/wal"
 )
@@ -37,14 +40,19 @@ type Log struct {
 	set   *Set
 	shard int
 	file  File
+	path  string // active segment path; "" for injected test files (rotation disabled)
 
 	mu             sync.Mutex
-	work           sync.Cond // signals the flusher: pending or closing
-	durable        sync.Cond // signals ticket waiters: durableSeq or err moved
+	work           sync.Cond // signals the flusher: pending or closing, or rotation done
+	durable        sync.Cond // signals waiters: durableSeq, err, or flushing moved
 	pending        []pend
 	pendingCommits int
 	lastSeq        uint64 // highest seq enqueued to this log
 	durableSeq     uint64 // highest seq durably flushed
+	fileLastSeq    uint64 // highest seq written to the active segment file
+	fileBytes      int64  // bytes in the active segment file
+	flushing       bool   // flusher is mid-IO outside the mutex
+	rotating       bool   // rotate owns the file; flusher must not touch it
 	err            error  // sticky first failure; everything after fails
 	closing        bool
 	done           chan struct{} // flusher exited
@@ -53,8 +61,12 @@ type Log struct {
 	st             Stats
 }
 
-func newLog(set *Set, shard int, f File) *Log {
-	l := &Log{set: set, shard: shard, file: f, done: make(chan struct{})}
+// newLog starts a log over an already-open active segment file.
+// fileBytes/fileLastSeq seed the active-segment accounting with what
+// recovery found already in the file (zero for a fresh segment).
+func newLog(set *Set, shard int, f File, path string, fileBytes int64, fileLastSeq uint64) *Log {
+	l := &Log{set: set, shard: shard, file: f, path: path,
+		fileBytes: fileBytes, fileLastSeq: fileLastSeq, done: make(chan struct{})}
 	l.work.L = &l.mu
 	l.durable.L = &l.mu
 	go l.flusher()
@@ -170,6 +182,99 @@ func (l *Log) Stats() Stats {
 	return l.st
 }
 
+// sealedPath names a sealed segment: wal-<k>.sealed-<maxseq>.log in
+// the active segment's directory, the sequence zero-padded so
+// lexicographic order is sequence order.
+func sealedPath(active string, shard int, maxSeq uint64) string {
+	return filepath.Join(filepath.Dir(active), fmt.Sprintf("wal-%d.sealed-%020d.log", shard, maxSeq))
+}
+
+// rotate seals the active segment — syncs and closes it, renames it to
+// wal-<shard>.sealed-<maxseq>.log, and opens a fresh active segment —
+// returning the sealed segment's description. Appends keep enqueueing
+// throughout (the flusher is parked while the rotation owns the file;
+// pending records land in the new segment, which is correct because a
+// sealed segment only promises MaxSeq as an upper bound on what it
+// holds). A log whose active segment holds no records is left alone,
+// as is one whose file was injected without a path (tests) or that has
+// already failed or is closing.
+func (l *Log) rotate() (seg checkpoint.Segment, rotated bool, err error) {
+	l.mu.Lock()
+	if l.path == "" || l.err != nil || l.closing || l.rotating {
+		err = l.err
+		l.mu.Unlock()
+		return checkpoint.Segment{}, false, err
+	}
+	// Park the flusher first, then wait out any in-flight flush; no new
+	// flush can start while rotating is set.
+	l.rotating = true
+	for l.flushing {
+		l.durable.Wait()
+	}
+	if l.err != nil || l.closing || l.fileLastSeq == 0 {
+		err = l.err
+		l.rotating = false
+		l.work.Broadcast()
+		l.mu.Unlock()
+		return checkpoint.Segment{}, false, err
+	}
+	old := l.file
+	maxSeq := l.fileLastSeq
+	bytes := l.fileBytes
+	l.mu.Unlock()
+
+	// IO outside the mutex: appends (called under the engine mutex)
+	// keep enqueueing; only the flusher is parked. Sync before the
+	// rename so a sealed segment's contents are always durable (under
+	// SyncOff the tail may not have been fsynced yet).
+	sealed := sealedPath(l.path, l.shard, maxSeq)
+	ioErr := old.Sync()
+	if ioErr == nil {
+		ioErr = old.Close()
+	}
+	if ioErr == nil {
+		ioErr = os.Rename(l.path, sealed)
+	}
+	var nf *os.File
+	if ioErr == nil {
+		nf, ioErr = wal.Create(l.path) // fsyncs the directory, covering the rename too
+	}
+
+	l.mu.Lock()
+	defer func() {
+		l.rotating = false
+		l.work.Broadcast()
+		l.durable.Broadcast()
+		l.mu.Unlock()
+	}()
+	if ioErr != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("durable: shard %d: rotate: %w", l.shard, ioErr)
+		}
+		return checkpoint.Segment{}, false, l.err
+	}
+	l.file = nf
+	l.fileBytes, l.fileLastSeq = 0, 0
+	return checkpoint.Segment{Shard: l.shard, Path: sealed, MaxSeq: maxSeq, Bytes: bytes}, true, nil
+}
+
+// status snapshots the active-segment accounting for /debug/wal.
+func (l *Log) status() ShardLogStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pendingRecs := 0
+	for i := range l.pending {
+		pendingRecs += l.pending[i].records
+	}
+	return ShardLogStatus{
+		Shard:          l.shard,
+		ActiveBytes:    l.fileBytes,
+		ActiveLastSeq:  l.fileLastSeq,
+		DurableSeq:     l.durableSeq,
+		PendingRecords: pendingRecs,
+	}
+}
+
 // flusher is the log's single IO goroutine: it takes batches off the
 // pending queue, concatenates them into one write, fsyncs per the sync
 // mode, and advances durableSeq. It exits when closed with an empty
@@ -178,7 +283,9 @@ func (l *Log) flusher() {
 	defer close(l.done)
 	for {
 		l.mu.Lock()
-		for len(l.pending) == 0 && !l.closing {
+		// While a rotation owns the file, only enqueue — never touch IO
+		// state (rotate closes the old segment and installs a new one).
+		for l.rotating || (len(l.pending) == 0 && !l.closing) {
 			l.work.Wait()
 		}
 		if len(l.pending) == 0 {
@@ -192,6 +299,9 @@ func (l *Log) flusher() {
 			l.mu.Unlock()
 			time.Sleep(l.set.opts.Window)
 			l.mu.Lock()
+			for l.rotating { // a rotation may have started during the window
+				l.work.Wait()
+			}
 		}
 		// Take the batch: everything pending, except under SyncAlways,
 		// where exactly one write-commit (plus any unlock installs queued
@@ -223,6 +333,7 @@ func (l *Log) flusher() {
 		l.pending = l.pending[:rest]
 		l.pendingCommits -= commits
 		failed := l.err != nil
+		l.flushing = true
 		l.mu.Unlock()
 
 		var err error
@@ -257,13 +368,16 @@ func (l *Log) flusher() {
 					l.st.Fsyncs++
 				}
 				l.st.Bytes += int64(len(l.wbuf))
+				l.fileBytes += int64(len(l.wbuf))
+				l.fileLastSeq = last
 				if int64(commits) > l.st.MaxCommitsPerFlush {
 					l.st.MaxCommitsPerFlush = int64(commits)
 				}
 				l.durableSeq = last
 			}
-			l.durable.Broadcast()
 		}
+		l.flushing = false
+		l.durable.Broadcast() // durableSeq, err, or flushing moved
 		l.mu.Unlock()
 	}
 }

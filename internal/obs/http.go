@@ -32,6 +32,45 @@ type AdminOptions struct {
 	// to the network server's Owners method) — the tool for finding
 	// which socket a stuck stream belongs to.
 	Owners func() map[txn.ID]TxnOwner
+	// WAL, when non-nil, serves /debug/wal: per-shard log accounting
+	// and checkpoint status. Wire it to the durability layer; nil
+	// disables the endpoint with a 404.
+	WAL func() WALStatus
+}
+
+// WALShard is one shard log's accounting in /debug/wal. It mirrors
+// durable.ShardLogStatus; obs keeps its own copy so the admin surface
+// does not depend on the durability layer.
+type WALShard struct {
+	Shard          int    `json:"shard"`
+	ActiveBytes    int64  `json:"activeBytes"`
+	ActiveLastSeq  uint64 `json:"activeLastSeq"`
+	DurableSeq     uint64 `json:"durableSeq"`
+	PendingRecords int    `json:"pendingRecords"`
+	SealedSegments int    `json:"sealedSegments"`
+	SealedBytes    int64  `json:"sealedBytes"`
+}
+
+// WALCheckpoint is /debug/wal's checkpoint section, mirroring
+// checkpoint.Status with a derived age.
+type WALCheckpoint struct {
+	Checkpoints  int64   `json:"checkpoints"`
+	LastFrontier uint64  `json:"lastFrontier"`
+	LastEntities int     `json:"lastEntities"`
+	LastBytes    int64   `json:"lastBytes"`
+	LastUnix     int64   `json:"lastUnix"`
+	AgeSeconds   float64 `json:"ageSeconds"`
+	Errors       int64   `json:"errors"`
+}
+
+// WALStatus is /debug/wal's reply: where the logs live, the global
+// sequence frontier, per-shard segment accounting, and — when a
+// checkpointer is running — its status.
+type WALStatus struct {
+	Dir        string         `json:"dir"`
+	Frontier   uint64         `json:"frontier"`
+	Shards     []WALShard     `json:"shards"`
+	Checkpoint *WALCheckpoint `json:"checkpoint,omitempty"`
 }
 
 // TxnOwner identifies the connection (and, on multiplexed
@@ -74,6 +113,8 @@ func SnapshotsOf(eng core.Engine) ([]core.DebugSnapshot, bool) {
 //	                 and current rollback cost, JSON or ?format=text
 //	/debug/trace     transaction tracer dump (when a Tracer is wired);
 //	                 ?enable=true / ?enable=false toggles recording
+//	/debug/wal       per-shard log bytes/sequences and checkpoint
+//	                 status, JSON (when a WAL source is wired)
 //	/debug/pprof/*   the standard net/http/pprof handlers
 //
 // It panics if Registry is nil.
@@ -142,6 +183,12 @@ func NewAdminMux(o AdminOptions) *http.ServeMux {
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = o.Tracer.WriteJSON(w)
+		})
+	}
+	if o.WAL != nil {
+		mux.HandleFunc("/debug/wal", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, o.WAL())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

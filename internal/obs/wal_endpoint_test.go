@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestWALEndpoint(t *testing.T) {
+	want := WALStatus{
+		Dir:      "/tmp/wal",
+		Frontier: 42,
+		Shards: []WALShard{
+			{Shard: 0, ActiveBytes: 128, ActiveLastSeq: 40, DurableSeq: 40, SealedSegments: 2, SealedBytes: 512},
+			{Shard: 1, ActiveBytes: 64, ActiveLastSeq: 42, DurableSeq: 42, PendingRecords: 3},
+		},
+		Checkpoint: &WALCheckpoint{Checkpoints: 5, LastFrontier: 37, LastEntities: 80, LastBytes: 2048, AgeSeconds: 1.5},
+	}
+	mux := NewAdminMux(AdminOptions{
+		Registry: NewRegistry(),
+		WAL:      func() WALStatus { return want },
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/wal", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var got WALStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dir != want.Dir || got.Frontier != want.Frontier || len(got.Shards) != 2 {
+		t.Fatalf("reply = %+v", got)
+	}
+	if got.Shards[0] != want.Shards[0] || got.Shards[1] != want.Shards[1] {
+		t.Fatalf("shards = %+v", got.Shards)
+	}
+	if got.Checkpoint == nil || *got.Checkpoint != *want.Checkpoint {
+		t.Fatalf("checkpoint = %+v", got.Checkpoint)
+	}
+}
+
+func TestWALEndpointAbsentWithoutSource(t *testing.T) {
+	mux := NewAdminMux(AdminOptions{Registry: NewRegistry()})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/wal", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status without WAL source = %d, want 404", rec.Code)
+	}
+}

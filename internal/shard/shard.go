@@ -814,6 +814,27 @@ func (e *Engine) DebugSnapshots() []core.DebugSnapshot {
 }
 
 var _ core.ShardSnapshotter = (*Engine)(nil)
+var _ core.Quiescer = (*Engine)(nil)
+
+// Quiesce runs fn while holding every shard's engine mutex at once, so
+// no step, commit, install, or commit-log append can interleave on any
+// shard — unlike DebugSnapshots, the view fn gets is consistent across
+// shards, not just within one. Shard mutexes are acquired in index
+// order; no other code path ever holds one shard's mutex while taking
+// another's (see the lock-ordering note on Engine), so the nesting
+// cannot deadlock. The pause is the cost of a few slice copies: the
+// checkpoint subsystem keeps fn to two memcpys and an atomic load.
+func (e *Engine) Quiesce(fn func()) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == e.n {
+			fn()
+			return
+		}
+		e.shards[k].Quiesce(func() { rec(k + 1) })
+	}
+	rec(0)
+}
 
 // QueuedClaim describes one registered transaction still waiting for
 // shard placement (see the package comment's admission queue).

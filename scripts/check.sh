@@ -37,7 +37,17 @@ go test -race -count=1 -run 'TestMux' ./internal/server/ ./internal/client/
 # concurrent-committer durability tests (acks only after fsync).
 go test -race -count=1 ./internal/wal/ ./internal/durable/
 
-# Crash recovery end-to-end: kill -9 a WAL-backed prserver mid-load,
+# Checkpointing's correctness surface: the checkpoint codec and
+# runner unit tests, the concurrent commit-consistency property
+# (every fuzzy snapshot taken during a contended banking run must
+# satisfy the sum invariant), the rotation/tail-replay/torn-checkpoint
+# recovery tests, and the no-checkpoint byte-identity pin.
+go test -race -count=1 ./internal/checkpoint/
+go test -race -count=1 -run 'TestRotation|TestCheckpoint|TestRecoveryPrefers|TestNoCheckpointByteIdentity' ./internal/durable/
+
+# Crash recovery end-to-end: kill -9 a WAL-backed prserver mid-load
+# (including rounds with an active checkpointer and phase delays so
+# kills land inside in-progress checkpoints and mid-compaction),
 # restart it over the same log, and verify by arithmetic that every
 # acknowledged commit survived.
 ./scripts/smoke_recovery.sh

@@ -22,9 +22,11 @@ WAL="$workdir/wal"
 
 start_server() {
     log=$1
+    shift
     "$workdir/prserver" -addr 127.0.0.1:0 -entities 16 -accounts 0 \
         -shards 2 -burst 8 \
         -wal "$WAL" -fsync group -group-window 2ms -group-max 64 \
+        "$@" \
         >"$log" 2>&1 &
     server_pid=$!
     addr=""
@@ -96,4 +98,68 @@ kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
 
-echo "recovery smoke test passed: $ACKED acknowledged commits survived kill -9"
+# Phase 4: checkpointed crash rounds. The server now takes fuzzy
+# checkpoints every 120ms with -checkpoint-phase-delay widening every
+# crash window (post-rotation, between the checkpoint temp file's
+# fsync and its rename, post-publication, and between the retention
+# pass's removals), so repeated kill -9s land inside in-progress
+# checkpoints and mid-truncation. The acknowledged-commit bound must
+# keep holding across every round: recovery = checkpoint base + log
+# tail, and neither a torn checkpoint nor a half-finished compaction
+# may lose an acknowledged increment.
+TOTAL=$ACKED
+round=0
+while [ "$round" -lt 3 ]; do
+    round=$((round + 1))
+    start_server "$workdir/server_ckpt$round.log" \
+        -checkpoint-interval 120ms -retain 2 -checkpoint-phase-delay 30ms
+    echo "checkpoint round $round on $addr"
+
+    "$workdir/prload" -addr "$addr" -workload counter -counters 8 \
+        -clients 8 -txns 4000 -proto 2 -attempts 1 -bail -seed $((20 + round)) \
+        >"$workdir/load_ckpt$round.log" 2>&1 &
+    load_pid=$!
+    sleep 2
+    kill -9 "$server_pid"
+    wait "$load_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+
+    acked_round=$(sed -n 's/^committed=\([0-9]*\) .*/\1/p' "$workdir/load_ckpt$round.log")
+    [ -n "$acked_round" ] || { echo "round $round loader report missing"; cat "$workdir/load_ckpt$round.log"; exit 1; }
+    TOTAL=$((TOTAL + acked_round))
+    echo "killed checkpoint round $round with $acked_round more acknowledged commits (total $TOTAL)"
+
+    grep -q '^prserver: checkpoint: wrote' "$workdir/server_ckpt$round.log" || {
+        echo "round $round never completed a checkpoint (interval too long for the load window?)"
+        cat "$workdir/server_ckpt$round.log"; exit 1; }
+
+    # Restart plainly (no checkpointer) and verify the durable sum.
+    start_server "$workdir/server_verify$round.log"
+    if grep -q 'WARNING: mid-log corruption\|WARNING: skipped invalid checkpoint' "$workdir/server_verify$round.log"; then
+        echo "round $round recovery reported corruption"
+        cat "$workdir/server_verify$round.log"; exit 1
+    fi
+    "$workdir/prload" -addr "$addr" -workload counter -counters 8 \
+        -verify-sum-min "$TOTAL" -proto 2
+    kill "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+done
+
+# The last verify server must have recovered from a checkpoint base
+# (bounded recovery), and compaction must have kept the directory
+# bounded: at most -retain + 1 checkpoints (one may be mid-publication
+# at the kill) and a small number of log segments.
+grep -q 'wal: checkpoint base' "$workdir/server_verify3.log" || {
+    echo "final recovery did not use a checkpoint base"
+    cat "$workdir/server_verify3.log"; exit 1; }
+ckpts=$(ls "$WAL" | grep -c '^ckpt-.*\.ckpt$' || true)
+files=$(ls "$WAL" | wc -l)
+if [ "$ckpts" -gt 3 ] || [ "$files" -gt 48 ]; then
+    echo "log directory unbounded: $ckpts checkpoints, $files files"
+    ls -l "$WAL"; exit 1
+fi
+echo "checkpoint rounds passed: dir holds $ckpts checkpoint(s), $files file(s)"
+
+echo "recovery smoke test passed: $TOTAL acknowledged commits survived kill -9 (incl. 3 checkpointed rounds)"
