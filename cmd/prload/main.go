@@ -34,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -138,6 +139,16 @@ type report struct {
 	Seed          int64   `json:"seed"`
 	Proto         int     `json:"proto"`
 	ElapsedSec    float64 `json:"elapsedSec"`
+	// GOMAXPROCS and NumCPU pin the client-side parallelism available to
+	// the run, so committed BENCH_*.json snapshots record whether a
+	// scaling result was even possible on the machine that produced it.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numCPU"`
+	// ServerShards / ServerStripes echo the engine partitioning the
+	// server reported in its STATS snapshot (1 when the server predates
+	// the counter or runs unpartitioned).
+	ServerShards  int     `json:"serverShards"`
+	ServerStripes int     `json:"serverStripes"`
 	Committed     int     `json:"committed"`
 	Failed        int     `json:"failed"`
 	Throughput    float64 `json:"throughputTxnPerSec"`
@@ -380,6 +391,10 @@ func main() {
 		Seed:          *seed,
 		Proto:         *proto,
 		ElapsedSec:    elapsed.Seconds(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		ServerShards:  1,
+		ServerStripes: 1,
 		Committed:     total.committed,
 		Failed:        total.failed,
 		Throughput:    throughput,
@@ -410,8 +425,16 @@ func main() {
 			rep.WireFramesPerTxn = float64(rep.ServerCounters["frames_in"]) / float64(served)
 		}
 		rep.WriterFlushes = rep.ServerCounters["writer_flushes"]
+		if v := rep.ServerCounters["shards"]; v > 1 {
+			rep.ServerShards = int(v)
+		}
+		if v := rep.ServerCounters["stripes"]; v > 1 {
+			rep.ServerStripes = int(v)
+		}
 		fmt.Printf("wire: frames/txn=%.2f writer-flushes=%d (frames-out=%d)\n",
 			rep.WireFramesPerTxn, rep.WriterFlushes, rep.ServerCounters["frames_out"])
+		fmt.Printf("env: gomaxprocs=%d numcpu=%d server-shards=%d server-stripes=%d\n",
+			rep.GOMAXPROCS, rep.NumCPU, rep.ServerShards, rep.ServerStripes)
 		printShardBalance(counters)
 	} else {
 		log.Printf("stats request failed: %v", err)

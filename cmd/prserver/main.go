@@ -64,6 +64,7 @@ var (
 	drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	shards      = flag.Int("shards", 1, "engine shards (1 = single engine; >1 partitions the lock/wait-for/detection core)")
 	burst       = flag.Int("burst", 1, "max consecutive steps per engine-lock acquisition (1 = classic step-at-a-time; -1 = adaptive: up to 64 while uncontended, 1 under contention)")
+	stripes     = flag.Int("stripes", 1, "lock-table stripes per engine shard (1 = classic single-mutex engine; >1 lets uncontended operations of different transactions run in parallel inside a shard)")
 	maxStreams  = flag.Int("max-streams", 4096, "maximum concurrently active v3 streams per connection (excess streams are refused with the retryable BUSY)")
 	strmWorkers = flag.Int("stream-workers", 0, "per-connection worker pool bound for v3 streams (0 = max-streams)")
 	walDir      = flag.String("wal", "", "write-ahead log directory: commits are durable and replayed on restart (empty = memory only)")
@@ -141,6 +142,9 @@ func main() {
 	if *shards < 1 {
 		log.Fatalf("-shards must be >= 1 (got %d)", *shards)
 	}
+	if *stripes < 1 {
+		log.Fatalf("-stripes must be >= 1 (got %d)", *stripes)
+	}
 	cfg := server.Config{
 		Store:          buildStore(),
 		Strategy:       st,
@@ -151,6 +155,7 @@ func main() {
 		IdleTimeout:    *idleTimeout,
 		Shards:         *shards,
 		Burst:          *burst,
+		Stripes:        *stripes,
 		MaxStreams:     *maxStreams,
 		StreamWorkers:  *strmWorkers,
 	}
@@ -170,6 +175,7 @@ func main() {
 		registry = obs.NewRegistry()
 		collector = obs.NewCollector(registry)
 		cfg.OnEvent = collector.OnEvent
+		cfg.LockWait = collector.ObserveLockWait
 		if *traceCap > 0 {
 			tracer = obs.NewTracer(*traceCap)
 			tracer.SetEnabled(true)
@@ -316,8 +322,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d burst=%d wal=%s)",
-		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *burst, walDesc())
+	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d stripes=%d burst=%d wal=%s)",
+		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *stripes, *burst, walDesc())
 
 	var adminSrv *http.Server
 	if *admin != "" {
@@ -331,6 +337,7 @@ func main() {
 			}
 			return out
 		})
+		obs.RegisterStripeAcquires(registry, srv.System())
 		if walSet != nil {
 			registry.NewGauge("pr_wal_recovery_duration_us",
 				"Startup recovery wall time in microseconds (checkpoint load + tail replay).",

@@ -5,15 +5,17 @@ import (
 	"sort"
 
 	"partialrollback/internal/history"
+	"partialrollback/internal/intern"
 	"partialrollback/internal/lock"
 	"partialrollback/internal/txn"
 	"partialrollback/internal/waitfor"
 )
 
-// Status returns the execution status of id.
+// Status returns the execution status of id. Read lock only: status
+// transitions happen under the write lock, never on the fast paths.
 func (s *System) Status(id txn.ID) (Status, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, err := s.get(id)
 	if err != nil {
 		return 0, err
@@ -26,8 +28,8 @@ func (s *System) Status(id txn.ID) (Status, error) {
 // acquisition and no allocation, so it is cheap enough to probe from
 // the step loop when sizing bursts adaptively.
 func (s *System) Waiters(id txn.ID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.wf.WaiterCount(id)
 }
 
@@ -97,11 +99,22 @@ func (s *System) LockIndex(id txn.ID) int {
 	return 0
 }
 
-// Held returns the entities id holds, sorted.
+// Held returns the entities id holds, sorted. Sourced from the
+// transaction's own slots rather than the lock table so anonymous
+// CAS-granted shared holds (striped engine) are included.
 func (s *System) Held(id txn.ID) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.locks.HeldBy(id)
+	t, ok := s.txns[id]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := range t.slots {
+		out = append(out, s.names.Name(t.slots[i].ent))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // HoldsExclusive reports whether id holds an exclusive lock on
@@ -318,8 +331,14 @@ func (s *System) CheckInvariants() error {
 			continue
 		}
 		held := s.locks.HeldBy(id)
-		if len(held) != len(t.slots) {
-			return fmt.Errorf("core: %v heldAt size %d != lock table %d", id, len(t.slots), len(held))
+		tableSlots := 0
+		for i := range t.slots {
+			if !t.slots[i].fast {
+				tableSlots++
+			}
+		}
+		if len(held) != tableSlots {
+			return fmt.Errorf("core: %v heldAt size %d != lock table %d", id, tableSlots, len(held))
 		}
 		for _, e := range held {
 			ent, ok := s.names.Lookup(e)
@@ -327,7 +346,7 @@ func (s *System) CheckInvariants() error {
 			if ok {
 				sl = t.findSlot(ent)
 			}
-			if sl == nil {
+			if sl == nil || sl.fast {
 				return fmt.Errorf("core: %v missing heldAt for %q", id, e)
 			}
 			if sl.heldAt < 0 || sl.heldAt >= t.lockIndex {
@@ -350,6 +369,28 @@ func (s *System) CheckInvariants() error {
 		}
 		if t.sdg != nil && t.sdg.LockIndex() != t.lockIndex {
 			return fmt.Errorf("core: %v SDG lock index %d != %d", id, t.sdg.LockIndex(), t.lockIndex)
+		}
+	}
+	if s.striped {
+		// Every entity's anonymous fast-holder word must equal the number
+		// of fast slots across live transactions.
+		fastCounts := map[intern.ID]int{}
+		for _, t := range s.txns {
+			if t.status == StatusCommitted {
+				continue
+			}
+			for i := range t.slots {
+				if t.slots[i].fast {
+					fastCounts[t.slots[i].ent]++
+				}
+			}
+		}
+		for e, n := 0, s.names.Len(); e < n; e++ {
+			ent := intern.ID(e)
+			if got, want := s.locks.FastSharedCountID(ent), fastCounts[ent]; got != want {
+				return fmt.Errorf("core: entity %q fast-holder word %d != %d fast slots",
+					s.names.Name(ent), got, want)
+			}
 		}
 	}
 	return nil

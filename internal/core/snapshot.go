@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 
-	"partialrollback/internal/lock"
 	"partialrollback/internal/txn"
 	"partialrollback/internal/waitfor"
 )
@@ -121,17 +120,13 @@ func (s *System) DebugSnapshot() DebugSnapshot {
 			Unlocked:    t.unlocked,
 			Stats:       t.stats,
 		}
-		for _, e := range s.locks.HeldBy(id) {
-			m := lock.Shared
-			idx := 0
-			if ent, ok := s.names.Lookup(e); ok {
-				if sl := t.findSlot(ent); sl != nil {
-					m = sl.mode
-					idx = sl.heldAt
-				}
-			}
-			ts.Held = append(ts.Held, HeldLock{Entity: e, Mode: m.String(), Index: idx})
+		// Sourced from the transaction's slots (not the lock table) so
+		// anonymous CAS-granted shared holds are included.
+		for i := range t.slots {
+			sl := &t.slots[i]
+			ts.Held = append(ts.Held, HeldLock{Entity: s.names.Name(sl.ent), Mode: sl.mode.String(), Index: sl.heldAt})
 		}
+		sort.Slice(ts.Held, func(i, j int) bool { return ts.Held[i].Entity < ts.Held[j].Entity })
 		if t.status == StatusWaiting {
 			ts.WaitingOn = t.waitEntity
 		}

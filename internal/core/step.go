@@ -13,8 +13,20 @@ import (
 
 // Step executes the next atomic operation of transaction id. Waiting
 // and committed transactions are reported as such without effect.
+//
+// Concurrency: different transactions may always be stepped
+// concurrently. With Config.Stripes > 1 the engine additionally
+// requires at most one concurrent stepper per transaction (the
+// goroutine-per-transaction model of internal/runtime) — uncontended
+// operations then run under a shared engine lock, mutating only the
+// stepping transaction's own state.
 func (s *System) Step(id txn.ID) (StepResult, error) {
-	s.mu.Lock()
+	if s.striped {
+		if res, _, err, done := s.stepFastBurst(id, 1); done {
+			return res, err
+		}
+	}
+	s.lockEngine()
 	defer s.mu.Unlock()
 	t, err := s.get(id)
 	if err != nil {
@@ -42,13 +54,23 @@ func (s *System) StepBurst(id txn.ID, max int) (StepResult, int, error) {
 	if max < 1 {
 		max = 1
 	}
-	s.mu.Lock()
+	steps := 0
+	if s.striped {
+		// Run the fast-path prefix of the burst under the shared lock;
+		// fall through to the exclusive path only when an operation
+		// needs it (conflict, commit, promotion).
+		res, n, err, done := s.stepFastBurst(id, max)
+		steps = n
+		if done {
+			return res, steps, err
+		}
+	}
+	s.lockEngine()
 	defer s.mu.Unlock()
 	t, err := s.get(id)
 	if err != nil {
-		return StepResult{}, 0, err
+		return StepResult{}, steps, err
 	}
-	steps := 0
 	for {
 		res, err := s.stepLocked(t)
 		if err != nil {
@@ -176,6 +198,15 @@ func (s *System) stepLock(t *tstate, op *txn.Op) (StepResult, error) {
 			}
 		}
 		t.hyb.TakeCheckpoint(t.lockIndex, t.locals, s.copiesBuf)
+	}
+
+	if s.striped {
+		// Anonymous CAS-granted shared holders are invisible to the
+		// table; give them identities before the table evaluates this
+		// request (conflict answers and wait-for arcs need them).
+		if err := s.migrateFastHolders(ent); err != nil {
+			return StepResult{}, err
+		}
 	}
 
 	granted, blockers, err := s.locks.AcquireID(t.id, ent, mode, s.blockersBuf[:0])
@@ -334,6 +365,19 @@ func (s *System) unlockEntity(t *tstate, ent intern.ID, entityName string) error
 	if sl == nil {
 		return fmt.Errorf("core: %v unlock of unheld entity %q", t.id, entityName)
 	}
+	if sl.fast {
+		// Anonymous CAS-word hold (always shared): no install, no queue,
+		// no promotions — decrement the word and drop the slot.
+		if s.recorder != nil {
+			s.recorder.OnRelease(t.id, entityName)
+		}
+		t.dropSlot(ent)
+		if t.mcs != nil {
+			t.mcs.OnUnlockID(ent)
+		}
+		s.locks.DropFastSharedID(ent)
+		return nil
+	}
 	if sl.mode == lock.Exclusive {
 		if err := s.store.InstallID(ent, sl.copy); err != nil {
 			return err
@@ -381,6 +425,10 @@ func (s *System) commit(t *tstate) (CommitAck, error) {
 		}
 		if s.recorder != nil {
 			s.recorder.OnRelease(t.id, ne.name)
+		}
+		if sl.fast {
+			s.locks.DropFastSharedID(ne.ent)
+			continue
 		}
 		if err := s.releaseAndRefresh(t, ne.ent); err != nil {
 			return nil, err

@@ -1,0 +1,334 @@
+package core
+
+// The striped engine's read-lock fast paths (Config.Stripes > 1). The
+// two-tier protocol (DESIGN.md, "Intra-shard striping"):
+//
+//   - Tier A/B (this file): the stepping goroutine holds s.mu.RLock.
+//     Operations that provably touch no other transaction's state — a
+//     running transaction's reads, writes, computes, uncontended lock
+//     grants and uncontended releases — complete here. Shared grants on
+//     un-owned entities are a single CAS on the entity's word (tier A);
+//     grants into owned-but-compatible or idle entities and uncontended
+//     releases take only the entity's stripe mutex (tier B).
+//
+//   - Tier C (step.go, rollback.go): anything structural — waits,
+//     deadlock detection and resolution, promotions, commit,
+//     registration, abort, inspection — takes s.mu exclusively and runs
+//     the original single-lock code verbatim. A fast path that cannot
+//     complete bails with nothing mutated and the caller falls through
+//     to tier C.
+//
+// Per-transaction state (pc, locals, slots, strategy trackers, stats)
+// is mutated under RLock only by the transaction's own stepping
+// goroutine: the engine requires at most one concurrent stepper per
+// transaction (the runtime driver's goroutine-per-transaction model),
+// so those fields never race. Cross-transaction state reached from
+// here is either atomic (entity words, stripe acquire counters, the
+// Steps/Grants counters), stripe-mutex-guarded (entries, held index),
+// or internally synchronized (store, recorder, event sinks). Wait
+// queues and the wait-for graph mutate only under the write lock, so
+// reading "no waiters" under RLock is stable for the whole read-side
+// critical section.
+//
+// With stripes <= 1 none of this runs and the engine is byte-identical
+// to the classic single-mutex implementation (pinned by regression
+// test).
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"partialrollback/internal/history"
+	"partialrollback/internal/intern"
+	"partialrollback/internal/lock"
+	"partialrollback/internal/txn"
+)
+
+// lockEngine takes the engine lock exclusively, reporting the blocked
+// nanoseconds to the LockWait observer when configured.
+func (s *System) lockEngine() {
+	if s.cfg.LockWait == nil {
+		s.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	s.cfg.LockWait(int64(time.Since(t0)))
+}
+
+// rlockEngine is lockEngine for the read side.
+func (s *System) rlockEngine() {
+	if s.cfg.LockWait == nil {
+		s.mu.RLock()
+		return
+	}
+	t0 := time.Now()
+	s.mu.RLock()
+	s.cfg.LockWait(int64(time.Since(t0)))
+}
+
+// countFastStep/countFastGrant bump the shared counters from under the
+// read lock. The exclusive path writes them plainly; the RWMutex orders
+// the two regimes, so mixed plain/atomic access never races.
+func (s *System) countFastStep()  { atomic.AddInt64(&s.stats.Steps, 1) }
+func (s *System) countFastGrant() { atomic.AddInt64(&s.stats.Grants, 1) }
+
+// stepFastBurst executes up to max operations of id under one read-lock
+// acquisition. done reports a burst-terminal result (commit and
+// conflict excluded — those bail); !done means the next operation needs
+// the exclusive path and nothing about it was mutated (steps already
+// taken are kept and counted).
+func (s *System) stepFastBurst(id txn.ID, max int) (res StepResult, steps int, err error, done bool) {
+	s.rlockEngine()
+	defer s.mu.RUnlock()
+	t, ok := s.txns[id]
+	if !ok {
+		return StepResult{}, 0, nil, false // exclusive path reports the error
+	}
+	for {
+		res, handled, err := s.stepFast(t)
+		if err != nil {
+			return res, steps, err, true
+		}
+		if !handled {
+			return res, steps, nil, false
+		}
+		if res.Outcome != AlreadyCommitted && res.Outcome != StillWaiting {
+			steps++
+		}
+		if res.Outcome != Progressed || steps >= max {
+			return res, steps, nil, true
+		}
+	}
+}
+
+// stepFast attempts t's next operation under the engine read lock.
+// handled=false means the operation needs the exclusive path; in that
+// case nothing was mutated.
+func (s *System) stepFast(t *tstate) (StepResult, bool, error) {
+	switch t.status {
+	case StatusCommitted:
+		return StepResult{Outcome: AlreadyCommitted}, true, nil
+	case StatusWaiting:
+		// Promotion happens under the write lock; polling here just
+		// observes the (stable) waiting status without serializing.
+		return StepResult{Outcome: StillWaiting}, true, nil
+	}
+	op := &t.prog.Ops[t.pc]
+	switch op.Kind {
+	case txn.OpRead:
+		s.countFastStep()
+		v, err := s.readEntity(t, t.opEnt[t.pc], op.Entity)
+		if err != nil {
+			return StepResult{}, true, err
+		}
+		if err := s.assignLocal(t, op.Local, v); err != nil {
+			return StepResult{}, true, err
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, true, nil
+	case txn.OpWrite:
+		s.countFastStep()
+		v, err := s.evalExpr(t)
+		if err != nil {
+			return StepResult{}, true, err
+		}
+		if err := s.writeEntity(t, t.opEnt[t.pc], op.Entity, v); err != nil {
+			return StepResult{}, true, err
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, true, nil
+	case txn.OpCompute:
+		s.countFastStep()
+		v, err := s.evalExpr(t)
+		if err != nil {
+			return StepResult{}, true, err
+		}
+		if err := s.assignLocal(t, op.Local, v); err != nil {
+			return StepResult{}, true, err
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, true, nil
+	case txn.OpDeclareLastLock:
+		s.countFastStep()
+		t.declaredLast = true
+		if t.sdg != nil {
+			t.sdg.StopMonitoring()
+		}
+		s.advance(t)
+		return StepResult{Outcome: Progressed}, true, nil
+	case txn.OpLockS:
+		return s.fastLock(t, op, lock.Shared)
+	case txn.OpLockX:
+		return s.fastLock(t, op, lock.Exclusive)
+	case txn.OpUnlock:
+		return s.fastUnlock(t, op)
+	default:
+		// OpCommit (promotions, log ordering, graph removal) and unknown
+		// kinds take the exclusive path.
+		return StepResult{}, false, nil
+	}
+}
+
+// fastLock attempts an uncontended grant. Any condition the fast
+// protocol cannot prove harmless — hybrid checkpoint planning, a
+// re-request of a held entity, out-of-sync lock-state records, or a
+// conflict — bails to the exclusive path untouched.
+func (s *System) fastLock(t *tstate, op *txn.Op, mode lock.Mode) (StepResult, bool, error) {
+	if t.hyb != nil {
+		return StepResult{}, false, nil // checkpoint planning needs scratch buffers
+	}
+	if len(t.lockStates) != t.lockIndex {
+		return StepResult{}, false, nil // exclusive path reports the mismatch
+	}
+	ent := t.opEnt[t.pc]
+	if t.findSlot(ent) != nil {
+		return StepResult{}, false, nil // re-request: the table's own rules answer
+	}
+	fastWord := false
+	if mode == lock.Shared {
+		if s.locks.TryFastSharedID(ent) {
+			fastWord = true
+		} else if !s.locks.TryAcquireSharedOwnedID(t.id, ent) {
+			return StepResult{}, false, nil
+		}
+	} else {
+		if !s.locks.TryAcquireExclusiveIdleID(t.id, ent) {
+			return StepResult{}, false, nil
+		}
+	}
+	// Grant landed; everything after the commit point is infallible.
+	s.countFastStep()
+	t.lockStates = append(t.lockStates, lockStateRec{opIndex: t.pc, stateIndex: t.stateIndex})
+	s.finishGrantFast(t, ent, op.Entity, mode, fastWord)
+	return StepResult{Outcome: Progressed}, true, nil
+}
+
+// finishGrantFast is finishGrant for fast-path grants: the transaction
+// was running (no wait bookkeeping to clear) and the entity provably
+// had no queued waiters (idle, anonymous-shared, or compatible with an
+// empty queue), so the refreshWaiters pass is skipped. fastWord marks a
+// CAS-word grant, recorded on the slot so releases decrement the word
+// instead of going through the table.
+func (s *System) finishGrantFast(t *tstate, ent intern.ID, entityName string, mode lock.Mode, fastWord bool) {
+	sl := lockSlot{ent: ent, mode: mode, heldAt: t.lockIndex, fast: fastWord}
+	if mode == lock.Exclusive {
+		sl.copy = s.store.MustGetID(ent)
+		if t.mcs != nil {
+			t.mcs.OnLockID(ent, true, sl.copy)
+		}
+	} else if t.mcs != nil {
+		t.mcs.OnLockID(ent, false, 0)
+	}
+	t.slots = append(t.slots, sl)
+	if t.sdg != nil {
+		t.sdg.OnLock()
+	}
+	t.lockIndex++
+	t.starveRounds = 0
+	if s.recorder != nil {
+		m := history.Read
+		if mode == lock.Exclusive {
+			m = history.Write
+		}
+		s.recorder.OnGrant(t.id, entityName, m)
+	}
+	s.advance(t)
+	s.countFastGrant()
+	s.emit(Event{Kind: EventGrant, Txn: t.id, Entity: entityName, Detail: mode.String()})
+}
+
+// fastUnlock attempts an uncontended shrinking-phase release: a
+// CAS-word hold decrements the word; a table hold with an empty queue
+// installs (exclusive) and releases under the stripe mutex. Queued
+// waiters mean promotions, which belong to the exclusive path.
+func (s *System) fastUnlock(t *tstate, op *txn.Op) (StepResult, bool, error) {
+	if s.cfg.CommitLog != nil {
+		return StepResult{}, false, nil // installs must append to the log in lock order
+	}
+	ent := t.opEnt[t.pc]
+	sl := t.findSlot(ent)
+	if sl == nil {
+		return StepResult{}, false, nil // exclusive path reports the unheld unlock
+	}
+	if sl.fast {
+		s.countFastStep()
+		if s.recorder != nil {
+			s.recorder.OnRelease(t.id, op.Entity)
+		}
+		t.dropSlot(ent)
+		if t.mcs != nil {
+			t.mcs.OnUnlockID(ent)
+		}
+		s.locks.DropFastSharedID(ent)
+	} else {
+		if s.locks.HasWaitersStriped(ent) {
+			return StepResult{}, false, nil
+		}
+		s.countFastStep()
+		mode, copyVal := sl.mode, sl.copy
+		if mode == lock.Exclusive {
+			if err := s.store.InstallID(ent, copyVal); err != nil {
+				return StepResult{}, true, err
+			}
+		}
+		if s.recorder != nil {
+			s.recorder.OnRelease(t.id, op.Entity)
+		}
+		t.dropSlot(ent)
+		if t.mcs != nil {
+			t.mcs.OnUnlockID(ent)
+		}
+		if !s.locks.TryReleaseUncontendedID(t.id, ent) {
+			return StepResult{}, true, fmt.Errorf("lock: %v released %q it does not hold", t.id, op.Entity)
+		}
+	}
+	t.unlocked = true
+	s.advance(t)
+	s.emit(Event{Kind: EventUnlock, Txn: t.id, Entity: op.Entity})
+	return StepResult{Outcome: Progressed}, true, nil
+}
+
+// migrateFastHolders converts ent's anonymous CAS-granted shared holds
+// into ordinary table holders before a table operation that needs
+// holder identities (any AcquireID on ent). Caller holds the engine
+// write lock; no-op when ent has no fast holders.
+func (s *System) migrateFastHolders(ent intern.ID) error {
+	if s.locks.FastSharedCountID(ent) == 0 {
+		return nil
+	}
+	s.migrateBuf = s.migrateBuf[:0]
+	for _, t := range s.txns {
+		if sl := t.findSlot(ent); sl != nil && sl.fast {
+			sl.fast = false
+			s.migrateBuf = append(s.migrateBuf, t.id)
+		}
+	}
+	sortTxnIDs(s.migrateBuf)
+	return s.locks.MigrateFastSharedID(ent, s.migrateBuf)
+}
+
+// sortTxnIDs sorts ascending. Insertion sort: the slice is one
+// entity's holder set (a handful), and the table's order must be
+// deterministic.
+func sortTxnIDs(s []txn.ID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Stripes returns the configured stripe count (1 = classic single-lock
+// engine).
+func (s *System) Stripes() int { return s.cfg.Stripes }
+
+// StripeAcquires returns cumulative per-stripe lock-acquire counts
+// (nil for the classic engine).
+func (s *System) StripeAcquires() []int64 {
+	if !s.striped {
+		return nil
+	}
+	return s.locks.StripeAcquires()
+}

@@ -15,6 +15,7 @@ package history
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"partialrollback/internal/graph"
@@ -59,9 +60,12 @@ type Episode struct {
 	Grant, Release int64
 }
 
-// Recorder accumulates episodes. Not safe for concurrent use; the
-// engine serializes access.
+// Recorder accumulates episodes. Safe for concurrent use: the striped
+// engine reports uncontended grants and releases from concurrently
+// stepping transactions, so the recorder serializes internally (one
+// mutex; recording is opt-in and off the default hot path).
 type Recorder struct {
+	mu    sync.Mutex
 	clock int64
 	// shared, when non-nil, supersedes the private clock: ticks come
 	// from the shared Clock so several recorders (one per shard) stamp
@@ -100,6 +104,13 @@ func NewSharedClockRecorder(c *Clock) *Recorder {
 
 // Tick advances and returns the logical clock.
 func (r *Recorder) Tick() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tick()
+}
+
+// tick advances the clock; caller holds r.mu.
+func (r *Recorder) tick() int64 {
 	if r.shared != nil {
 		r.clock = r.shared.Tick()
 		return r.clock
@@ -109,11 +120,17 @@ func (r *Recorder) Tick() int64 {
 }
 
 // Now returns the current clock without advancing it.
-func (r *Recorder) Now() int64 { return r.clock }
+func (r *Recorder) Now() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock
+}
 
 // OnGrant records that id acquired entity in mode.
 func (r *Recorder) OnGrant(id txn.ID, entityName string, m Mode) {
-	t := r.Tick()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.tick()
 	if r.open[id] == nil {
 		r.open[id] = map[string]openHold{}
 	}
@@ -123,7 +140,14 @@ func (r *Recorder) OnGrant(id txn.ID, entityName string, m Mode) {
 // OnRelease completes the hold of entity by id (unlock with install, or
 // commit-time release).
 func (r *Recorder) OnRelease(id txn.ID, entityName string) {
-	t := r.Tick()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onRelease(id, entityName)
+}
+
+// onRelease is OnRelease; caller holds r.mu.
+func (r *Recorder) onRelease(id txn.ID, entityName string) {
+	t := r.tick()
 	h, ok := r.open[id][entityName]
 	if !ok {
 		return
@@ -138,6 +162,8 @@ func (r *Recorder) OnRelease(id txn.ID, entityName string) {
 // released the lock without installing a value; the episode never
 // happened).
 func (r *Recorder) OnRetract(id txn.ID, entityName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	delete(r.open[id], entityName)
 }
 
@@ -145,13 +171,15 @@ func (r *Recorder) OnRetract(id txn.ID, entityName string) {
 // Any still-open holds are closed at the current clock first (commit
 // releases all remaining locks).
 func (r *Recorder) OnCommit(id txn.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.open[id]))
 	for e := range r.open[id] {
 		names = append(names, e)
 	}
 	sort.Strings(names)
 	for _, e := range names {
-		r.OnRelease(id, e)
+		r.onRelease(id, e)
 	}
 	r.committed = append(r.committed, r.done[id]...)
 	delete(r.done, id)
@@ -160,13 +188,19 @@ func (r *Recorder) OnCommit(id txn.ID) {
 
 // OnAbort discards everything recorded for id.
 func (r *Recorder) OnAbort(id txn.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	delete(r.done, id)
 	delete(r.open, id)
 }
 
 // Committed returns the committed episodes (shared slice; treat as
-// read-only).
-func (r *Recorder) Committed() []Episode { return r.committed }
+// read-only, and only after the engine has quiesced).
+func (r *Recorder) Committed() []Episode {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committed
+}
 
 // Merged builds a read-only recorder from already-committed episodes of
 // several recorders (e.g. one per engine shard). The episodes must have

@@ -1,0 +1,272 @@
+package lock
+
+// This file holds the striped table's concurrent fast paths. The
+// concurrency protocol, shared with internal/core (see DESIGN.md,
+// "Intra-shard striping"):
+//
+//   - The engine guards every structural operation (waits, promotions,
+//     deadlock handling, rollback, commit, registration) with a write
+//     lock that excludes all fast paths, and runs fast paths under the
+//     matching read lock. Methods here therefore only ever race with
+//     each other, never with the exclusive-access methods in table.go.
+//
+//   - Each entity e has an atomic word words[e]. Bit 31 (ownedBit) set
+//     means the entity's state lives in its table entry ("table-owned":
+//     holders, queue). Otherwise the low 31 bits count anonymous
+//     CAS-granted shared holders; count > 0 implies the entry is empty.
+//     The two regimes are mutually exclusive by construction.
+//
+//   - TryFastSharedID / DropFastSharedID run lock-free: a single CAS
+//     increments or decrements the count while the owned bit is clear.
+//     The CAS orders the grant against a concurrent exclusive claim of
+//     the same word (TryAcquireExclusiveIdleID's CAS 0 -> ownedBit):
+//     whichever lands first wins, the loser falls back.
+//
+//   - TryAcquireSharedOwnedID / TryAcquireExclusiveIdleID /
+//     TryReleaseUncontendedID take only the entity's stripe mutex, so
+//     uncontended table grants on different stripes proceed in
+//     parallel. They mutate holders and the per-stripe held index —
+//     never queues or waiting, which belong to the exclusive paths.
+//
+//   - When an exclusive-access path needs holder identities (a
+//     conflicting request must know whom it waits for), the engine
+//     first calls MigrateFastSharedID under its write lock, converting
+//     the anonymous count into ordinary table holders and setting the
+//     owned bit. From then on the entity is table-owned until its entry
+//     drains (unownIfEmpty), at which point the CAS fast path resumes.
+//
+// Memory ordering: all cross-goroutine handoffs go through one of (a)
+// the engine RWMutex, (b) a stripe mutex, or (c) a successful CAS /
+// atomic load-store pair on an entity word — each of which establishes
+// happens-before. A reader that fast-grants S and then reads the global
+// store value is ordered after the writer that installed it because the
+// install happened under a lock (engine write lock or the same stripe
+// mutex) released before the entity became grantable again.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"partialrollback/internal/intern"
+	"partialrollback/internal/txn"
+)
+
+// ownedBit flags an entity word as table-owned; the low 31 bits then
+// must be zero. With the bit clear they count anonymous fast shared
+// holders.
+const ownedBit uint32 = 1 << 31
+
+// EnsureEntities grows the fast-word table to cover entity IDs
+// [0, n). Exclusive access required (the engine calls it from Register
+// under its write lock); no-op on single-stripe tables.
+func (t *Table) EnsureEntities(n int) {
+	if t.k <= 1 || n <= len(t.words) {
+		return
+	}
+	t.words = append(t.words, make([]uint32, n-len(t.words))...)
+}
+
+// TryFastSharedID attempts the uncontended shared-lock fast path: one
+// CAS incrementing ent's anonymous shared count. It fails (false) when
+// the entity is table-owned or the word table does not cover ent; the
+// caller falls back to the table. Safe under the engine read lock.
+func (t *Table) TryFastSharedID(ent intern.ID) bool {
+	if int(ent) >= len(t.words) {
+		return false
+	}
+	w := &t.words[ent]
+	for {
+		v := atomic.LoadUint32(w)
+		if v&ownedBit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(w, v, v+1) {
+			t.countAcquire(ent)
+			return true
+		}
+	}
+}
+
+// DropFastSharedID releases one anonymous fast shared hold of ent. The
+// caller must actually hold one (the engine's lock slot records it), so
+// the word is un-owned with a positive count — while any fast hold
+// exists nothing can set the owned bit or store zero, which makes a
+// single atomic decrement sufficient (no CAS loop). Both fast-path
+// (read lock) and exclusive-path callers use this.
+func (t *Table) DropFastSharedID(ent intern.ID) {
+	nv := atomic.AddUint32(&t.words[ent], ^uint32(0))
+	if nv&ownedBit != 0 || nv == ownedBit-1 {
+		panic("lock: DropFastSharedID without a fast shared hold")
+	}
+}
+
+// FastSharedCountID returns ent's anonymous fast shared-holder count
+// (0 when table-owned). Exclusive access required for a stable answer.
+func (t *Table) FastSharedCountID(ent intern.ID) int {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return 0
+	}
+	v := atomic.LoadUint32(&t.words[ent])
+	if v&ownedBit != 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// MigrateFastSharedID converts ent's anonymous fast shared holders into
+// ordinary table holders (the given ids, which the engine collected
+// from its transaction slots) and marks the entity table-owned.
+// Exclusive access required. The count must match len(ids) exactly.
+func (t *Table) MigrateFastSharedID(ent intern.ID, ids []txn.ID) error {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return errMigrate(t, ent, "no fast word")
+	}
+	w := &t.words[ent]
+	v := atomic.LoadUint32(w)
+	if v&ownedBit != 0 {
+		return errMigrate(t, ent, "already table-owned")
+	}
+	if int(v) != len(ids) {
+		return errMigrate(t, ent, "fast count does not match holder slots")
+	}
+	st := t.stripeOf(ent)
+	e := t.entryForStripe(st, ent)
+	for _, id := range ids {
+		// Direct grant without countAcquire: migration re-homes existing
+		// holds, it does not grant new ones. grantTo sets the owned bit.
+		e.holders = append(e.holders, holderRec{txn: id, mode: Shared})
+		hl := st.held[id]
+		if hl == nil {
+			hl = st.newHeldList()
+			st.held[id] = hl
+		}
+		hl.recs = append(hl.recs, heldRec{ent: ent, mode: Shared})
+	}
+	atomic.StoreUint32(w, ownedBit)
+	return nil
+}
+
+func errMigrate(t *Table, ent intern.ID, why string) error {
+	return fmt.Errorf("lock: migrate fast holders of %q: %s", t.names.Name(ent), why)
+}
+
+// TryAcquireSharedOwnedID attempts an uncontended shared grant on a
+// table-owned entity: under the stripe mutex, grant when every holder
+// is shared and nothing is queued. The caller (engine read lock held)
+// guarantees id is running, not waiting, and does not hold ent.
+func (t *Table) TryAcquireSharedOwnedID(id txn.ID, ent intern.ID) bool {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return false
+	}
+	st := t.stripeOf(ent)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if atomic.LoadUint32(&t.words[ent])&ownedBit == 0 {
+		return false // un-owned: the CAS path is the right one
+	}
+	i := int(ent) / t.k
+	if i >= len(st.entries) {
+		return false
+	}
+	e := &st.entries[i]
+	if len(e.holders) == 0 || e.numX != 0 || len(e.queue) > 0 {
+		return false
+	}
+	t.grantTo(st, e, id, ent, Shared)
+	t.countAcquire(ent)
+	return true
+}
+
+// TryAcquireExclusiveIdleID attempts an uncontended exclusive grant on
+// an idle entity: claim the word (CAS 0 -> ownedBit, which excludes
+// both fast shared holders and other claimants) and grant into the
+// empty entry under the stripe mutex. The caller (engine read lock
+// held) guarantees id is running, not waiting, and does not hold ent.
+func (t *Table) TryAcquireExclusiveIdleID(id txn.ID, ent intern.ID) bool {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return false
+	}
+	st := t.stripeOf(ent)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !atomic.CompareAndSwapUint32(&t.words[ent], 0, ownedBit) {
+		return false // fast shared holders, or already table-owned
+	}
+	e := t.entryForStripe(st, ent)
+	// The word was zero, so the entry must be empty; grant.
+	t.grantTo(st, e, id, ent, Exclusive)
+	t.countAcquire(ent)
+	return true
+}
+
+// HasWaitersStriped is the read-lock-safe HasWaiters: it reads the
+// queue length under the stripe mutex, so it never races with a
+// concurrent fast path growing the stripe's entries slice. Queues
+// themselves mutate only under the engine write lock, so the answer is
+// stable for the remainder of the caller's read-side critical section.
+func (t *Table) HasWaitersStriped(ent intern.ID) bool {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return t.HasWaiters(ent)
+	}
+	st := t.stripeOf(ent)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i := int(ent) / t.k
+	if i >= len(st.entries) {
+		return false
+	}
+	return len(st.entries[i].queue) > 0
+}
+
+// TryReleaseUncontendedID drops id's table hold on ent when nothing is
+// queued, un-owning the word if the entry drains. The caller (engine
+// read lock held) must have checked HasWaitersStriped(ent) == false —
+// queues cannot change under the read lock — and that id's slot is a
+// table hold. False means the hold was not found (caller falls back to
+// the exclusive path for the standard error).
+func (t *Table) TryReleaseUncontendedID(id txn.ID, ent intern.ID) bool {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return false
+	}
+	st := t.stripeOf(ent)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i := int(ent) / t.k
+	if i >= len(st.entries) {
+		return false
+	}
+	e := &st.entries[i]
+	found := false
+	for j := range e.holders {
+		if e.holders[j].txn == id {
+			if e.holders[j].mode == Exclusive {
+				e.numX--
+			}
+			e.holders[j] = e.holders[len(e.holders)-1]
+			e.holders = e.holders[:len(e.holders)-1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	t.dropHeldRec(id, ent)
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		atomic.StoreUint32(&t.words[ent], 0)
+	}
+	return true
+}
+
+// unownIfEmpty clears ent's owned bit when its entry has fully drained
+// (no holders, no queue), handing the entity back to the CAS fast
+// path. Exclusive access required (called from ReleaseID /
+// RemoveWaiterID).
+func (t *Table) unownIfEmpty(ent intern.ID, e *entry) {
+	if t.k <= 1 || int(ent) >= len(t.words) {
+		return
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		atomic.StoreUint32(&t.words[ent], 0)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,6 +28,16 @@ var (
 		100 * time.Millisecond, 500 * time.Millisecond,
 		2 * time.Second, 10 * time.Second,
 	}
+	// EngineLockWaitBuckets bounds the engine-lock wait histogram:
+	// nanoseconds a step-path acquisition blocked before entering the
+	// engine's critical section. Uncontended acquisitions land in the
+	// lowest buckets; a fat tail here means the engine lock itself (not
+	// entity conflicts) throttles throughput — the signal striping is
+	// meant to remove.
+	EngineLockWaitBuckets = []int64{
+		100, 500, 1_000, 5_000, 20_000, 100_000,
+		500_000, 2_000_000, 10_000_000, 100_000_000,
+	}
 )
 
 // Collector turns the engine's event stream into metrics. Chain
@@ -39,10 +50,11 @@ type Collector struct {
 	Deadlocks, Rollbacks, Restarts, OpsLost, Victims           *Counter
 
 	// Histograms.
-	WaitDur       *DurationHistogram
-	RollbackDepth *Histogram
-	CycleLen      *Histogram
-	VictimsPerDL  *Histogram
+	WaitDur        *DurationHistogram
+	RollbackDepth  *Histogram
+	CycleLen       *Histogram
+	VictimsPerDL   *Histogram
+	EngineLockWait *Histogram
 
 	now func() time.Time
 
@@ -77,6 +89,8 @@ func NewCollector(reg *Registry) *Collector {
 			"Length of each deadlock cycle resolved.", CycleBuckets),
 		VictimsPerDL: reg.NewHistogram("pr_victims_per_deadlock",
 			"Victims rolled back per deadlock.", VictimBuckets),
+		EngineLockWait: reg.NewHistogram("pr_engine_lock_wait_ns",
+			"Nanoseconds each step-path engine-lock acquisition blocked before entering.", EngineLockWaitBuckets),
 		now:       time.Now,
 		waitStart: map[txn.ID]time.Time{},
 	}
@@ -137,6 +151,36 @@ func (c *Collector) OnEvent(e core.Event) {
 		// A rolled-back waiter is runnable again; its wait is over.
 		c.endWait(e.Txn)
 	}
+}
+
+// ObserveLockWait records one engine-lock acquisition's blocked time in
+// nanoseconds. Wire core.Config.LockWait (or runtime.Options.LockWait /
+// server.Config) to this; safe for concurrent use.
+func (c *Collector) ObserveLockWait(ns int64) { c.EngineLockWait.Observe(ns) }
+
+// stripeAcquirer is any engine exposing per-stripe lock-acquire
+// counters (a striped core.System, or a shard.Engine whose shards are
+// striped).
+type stripeAcquirer interface{ StripeAcquires() []int64 }
+
+// RegisterStripeAcquires exposes eng's per-stripe lock-acquire counters
+// as pr_engine_stripe_acquires_stripe<k> gauges on reg. No-op for
+// engines without striping, so callers can wire it unconditionally.
+func RegisterStripeAcquires(reg *Registry, eng core.Engine) {
+	sa, ok := eng.(stripeAcquirer)
+	if !ok || sa.StripeAcquires() == nil {
+		return
+	}
+	reg.NewGaugeSet("pr_engine_stripe_acquires_",
+		"Cumulative lock grants per lock-table stripe (summed across shards).",
+		func() []KV {
+			counts := sa.StripeAcquires()
+			out := make([]KV, len(counts))
+			for i, v := range counts {
+				out[i] = KV{Name: fmt.Sprintf("stripe%d", i), Val: v}
+			}
+			return out
+		})
 }
 
 // endWait closes a transaction's open wait interval, if any, and

@@ -1,0 +1,116 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"partialrollback/internal/core"
+	"partialrollback/internal/exec"
+	"partialrollback/internal/sim"
+)
+
+// TestConcurrentStriped is the striping serializability property sweep
+// (run with -race): at stripes 1, 2 and 8, classic and adaptive burst,
+// a contended mixed workload driven by one goroutine per transaction
+// must fully commit, keep the store consistent, pass the engine's
+// invariant check (which cross-checks fast-path CAS holder counts
+// against per-transaction lock slots), and stay conflict-serializable.
+// This is the test that actually exercises Tier A/B concurrency: under
+// -race it proves the read-lock fast paths never race the exclusive
+// slow path.
+func TestConcurrentStriped(t *testing.T) {
+	for _, stripes := range []int{1, 2, 8} {
+		for _, burst := range []int{1, exec.BurstAdaptive} {
+			t.Run(fmt.Sprintf("stripes%d/burst%d", stripes, burst), func(t *testing.T) {
+				w := sim.Generate(sim.GenConfig{
+					Txns: 24, DBSize: 32, HotSet: 8, HotProb: 0.6,
+					LocksPerTxn: 4, SharedProb: 0.3, RewriteProb: 0.5,
+					PadOps: 2, Shape: sim.Mixed, Seed: int64(41 + stripes),
+				})
+				store := w.NewStore()
+				out, err := Run(store, w.Programs, Options{
+					Strategy: core.MCS, RecordHistory: true,
+					Stripes: stripes, Burst: burst,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := store.CheckConsistent(); err != nil {
+					t.Fatal(err)
+				}
+				if out.Stats.Commits != 24 {
+					t.Errorf("commits = %d, want 24", out.Stats.Commits)
+				}
+				if err := out.System.CheckInvariants(); err != nil {
+					t.Error(err)
+				}
+				if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentStripedSharded composes striping with sharding under
+// the concurrent driver (run with -race): each shard's lock table is
+// striped, so the fast paths run inside every shard simultaneously.
+func TestConcurrentStripedSharded(t *testing.T) {
+	for _, strat := range []core.Strategy{core.MCS, core.SDG} {
+		t.Run(strat.String(), func(t *testing.T) {
+			w := sim.Generate(sim.GenConfig{
+				Txns: 24, DBSize: 32, HotSet: 8, HotProb: 0.6,
+				LocksPerTxn: 4, SharedProb: 0.3, RewriteProb: 0.5,
+				PadOps: 2, Shape: sim.Mixed, Seed: 53,
+			})
+			store := w.NewStore()
+			out, err := Run(store, w.Programs, Options{
+				Strategy: strat, RecordHistory: true,
+				Shards: 2, Stripes: 4, Burst: exec.BurstAdaptive,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.CheckConsistent(); err != nil {
+				t.Fatal(err)
+			}
+			if out.Stats.Commits != 24 {
+				t.Errorf("commits = %d, want 24", out.Stats.Commits)
+			}
+			if err := out.System.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+			if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentStripedBank drives striped engines with the banking
+// workload whose sum constraint the store checks after every commit —
+// shared reads of hot accounts hit the CAS fast path while transfers
+// contend for exclusive locks.
+func TestConcurrentStripedBank(t *testing.T) {
+	const accounts, transfers = 6, 40
+	w := sim.BankingWorkload(accounts, transfers, 1000, 19)
+	store := w.NewStore()
+	out, err := Run(store, w.Programs, Options{
+		Strategy: core.MCS, RecordHistory: true, Stripes: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Commits != transfers {
+		t.Errorf("commits = %d, want %d", out.Stats.Commits, transfers)
+	}
+	if err := out.System.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if _, err := out.System.Recorder().CheckSerializable(); err != nil {
+		t.Error(err)
+	}
+}

@@ -174,6 +174,30 @@ func New(n int, cfg core.Config) *Engine {
 // Shards returns the number of shards.
 func (e *Engine) Shards() int { return e.n }
 
+// Stripes returns the per-shard lock-table stripe count (1 = classic
+// single-lock shard engines).
+func (e *Engine) Stripes() int { return e.shards[0].Stripes() }
+
+// StripeAcquires returns per-stripe lock-acquire counts summed across
+// shards (every shard has the same stripe count); nil when the shards
+// run the classic single-lock engine.
+func (e *Engine) StripeAcquires() []int64 {
+	var out []int64
+	for _, s := range e.shards {
+		sa := s.StripeAcquires()
+		if sa == nil {
+			return nil
+		}
+		if out == nil {
+			out = make([]int64, len(sa))
+		}
+		for i, v := range sa {
+			out[i] += v
+		}
+	}
+	return out
+}
+
 // shardEventSink remaps shard k's events to global transaction IDs and
 // forwards them to the merged stream. The shard's own EventRegister is
 // dropped: it fires before the local→global mapping exists, so the

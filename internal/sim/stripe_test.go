@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"partialrollback/internal/core"
+)
+
+// TestStripedSequentialRegression pins the striping equivalence
+// guarantee under the deterministic drivers: on a seeded workload the
+// striped engine must reproduce the classic single-mutex stepper
+// byte-for-byte — same event stream, same step count, same stats, same
+// final database, same serial order — at every stripe count.
+//
+// Stripes=1 is the stronger pin: it must take zero new code on the hot
+// path (core.New builds the classic table and wait-for graph), so any
+// divergence there means the striped build leaked into the default
+// configuration. Stripes>1 exercises the read-lock fast path
+// (CAS shared grants, idle exclusive grants, uncontended releases) and
+// pins that it is a pure execution-strategy change, invisible to
+// results.
+func TestStripedSequentialRegression(t *testing.T) {
+	for _, strat := range []core.Strategy{core.Total, core.MCS, core.SDG} {
+		for _, stripes := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%v/stripes%d", strat, stripes), func(t *testing.T) {
+				gen := GenConfig{
+					Txns: 10, DBSize: 12, HotSet: 6, HotProb: 0.8,
+					LocksPerTxn: 4, SharedProb: 0.3, RewriteProb: 0.5,
+					PadOps: 2, Shape: Mixed, Seed: 29,
+				}
+				base := RunConfig{
+					Strategy: strat, Scheduler: RoundRobin, Seed: 29,
+					RecordHistory: true, CheckInvariants: true,
+				}
+				classic := base
+				classic.Stripes = 0 // original single-mutex engine
+				striped := base
+				striped.Stripes = stripes
+
+				rc, ec := collectEvents(t, Generate(gen), classic)
+				rs, es := collectEvents(t, Generate(gen), striped)
+
+				if rc.Stats != rs.Stats {
+					t.Errorf("stats diverge:\n classic %+v\n striped %+v", rc.Stats, rs.Stats)
+				}
+				if rc.Steps != rs.Steps {
+					t.Errorf("steps diverge: classic %d, striped %d", rc.Steps, rs.Steps)
+				}
+				if len(ec) != len(es) {
+					t.Fatalf("event counts diverge: classic %d, striped %d", len(ec), len(es))
+				}
+				for i := range ec {
+					if ec[i] != es[i] {
+						t.Fatalf("event %d diverges:\n classic %s\n striped %s", i, ec[i], es[i])
+					}
+				}
+				sc := snapshotOf(t, rc)
+				ss := snapshotOf(t, rs)
+				for e, v := range sc {
+					if ss[e] != v {
+						t.Errorf("entity %q = %d striped, %d classic", e, ss[e], v)
+					}
+				}
+				oc, err := rc.System.Recorder().SerialOrder()
+				if err != nil {
+					t.Fatal(err)
+				}
+				os, err := rs.System.Recorder().SerialOrder()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(oc) != fmt.Sprint(os) {
+					t.Errorf("serial orders diverge: classic %v, striped %v", oc, os)
+				}
+			})
+		}
+	}
+}
+
+// TestStripedShardedSequentialRegression composes the two partitioning
+// axes: a sharded engine whose shards are internally striped must still
+// reproduce the flat engine's results exactly under the deterministic
+// scheduler.
+func TestStripedShardedSequentialRegression(t *testing.T) {
+	gen := GenConfig{
+		Txns: 12, DBSize: 16, HotSet: 6, HotProb: 0.7,
+		LocksPerTxn: 4, SharedProb: 0.25, RewriteProb: 0.5,
+		PadOps: 2, Shape: Mixed, Seed: 31,
+	}
+	base := RunConfig{
+		Strategy: core.MCS, Scheduler: RoundRobin, Seed: 31,
+		RecordHistory: true, Shards: 1,
+	}
+	classic := base
+	striped := base
+	striped.Stripes = 4
+
+	rc, ec := collectEvents(t, Generate(gen), classic)
+	rs, es := collectEvents(t, Generate(gen), striped)
+	if rc.Stats != rs.Stats {
+		t.Errorf("stats diverge:\n classic %+v\n striped %+v", rc.Stats, rs.Stats)
+	}
+	if len(ec) != len(es) {
+		t.Fatalf("event counts diverge: classic %d, striped %d", len(ec), len(es))
+	}
+	for i := range ec {
+		if ec[i] != es[i] {
+			t.Fatalf("event %d diverges:\n classic %s\n striped %s", i, ec[i], es[i])
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package waitfor
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"partialrollback/internal/intern"
+	"partialrollback/internal/txn"
+)
+
+// Striped is the concurrency graph partitioned by arc label: the arcs
+// whose entity is e live in stripe e % K, so wait bookkeeping on
+// different entities touches independent stripes. Detection queries
+// (CyclesThrough, HasCycle, IsForest, Arcs) merge the stripes into a
+// snapshot graph validated by per-stripe epoch counters — a seqlock in
+// spirit: each mutation bumps its stripe's epoch under the stripe
+// mutex, and a snapshot whose epochs changed mid-copy is retried. After
+// a bounded number of retries the possibly-stale snapshot is used
+// anyway, which is safe for deadlock detection: a cycle, once formed,
+// is stable — every participant is blocked, and un-blocking any of them
+// (grant, rollback) happens through the engine's exclusive path, which
+// re-runs detection for the waits it re-creates. A stale snapshot can
+// therefore only delay detection by one round, never miss a deadlock
+// forever, and partial-rollback victim selection runs on the engine's
+// exclusive path where the snapshot is exact.
+//
+// A transaction waits on at most one entity at a time, so all of one
+// waiter's outgoing arcs live in a single stripe; WaiterCount(h) sums
+// per-stripe in-degrees without double-counting.
+type Striped struct {
+	names   *intern.Table
+	k       int
+	stripes []wfStripe
+}
+
+type wfStripe struct {
+	mu    sync.Mutex
+	epoch atomic.Uint64
+	g     *Graph
+}
+
+// NewStriped returns an empty striped concurrency graph with k stripes
+// sharing names. k < 1 is treated as 1.
+func NewStriped(names *intern.Table, k int) *Striped {
+	if k < 1 {
+		k = 1
+	}
+	s := &Striped{names: names, k: k, stripes: make([]wfStripe, k)}
+	for i := range s.stripes {
+		s.stripes[i].g = NewInterned(names)
+	}
+	return s
+}
+
+// Names exposes the graph's interner.
+func (s *Striped) Names() *intern.Table { return s.names }
+
+// StripeCount returns the stripe count.
+func (s *Striped) StripeCount() int { return s.k }
+
+func (s *Striped) stripeOf(ent intern.ID) *wfStripe {
+	return &s.stripes[int(ent)%s.k]
+}
+
+func (st *wfStripe) mutate(fn func(g *Graph)) {
+	st.mu.Lock()
+	st.epoch.Add(1)
+	fn(st.g)
+	st.mu.Unlock()
+}
+
+// AddTxn is a no-op: vertices materialize when arcs arrive, and every
+// query treats absent nodes as isolated vertices (which affect no
+// cycle, forest, or count answer).
+func (s *Striped) AddTxn(id txn.ID) {}
+
+// RemoveTxn deletes id and all incident arcs from every stripe.
+func (s *Striped) RemoveTxn(id txn.ID) {
+	for i := range s.stripes {
+		s.stripes[i].mutate(func(g *Graph) { g.RemoveTxn(id) })
+	}
+}
+
+// AddWaitID records that waiter now waits for holder over ent.
+func (s *Striped) AddWaitID(waiter, holder txn.ID, ent intern.ID) {
+	s.stripeOf(ent).mutate(func(g *Graph) { g.AddWaitID(waiter, holder, ent) })
+}
+
+// ClearEntityWaitsID drops the ent label from every outgoing arc of
+// waiter (all such arcs live in ent's stripe).
+func (s *Striped) ClearEntityWaitsID(waiter txn.ID, ent intern.ID) {
+	s.stripeOf(ent).mutate(func(g *Graph) { g.ClearEntityWaitsID(waiter, ent) })
+}
+
+// RemoveAllWaitsBy drops every outgoing arc of waiter in every stripe.
+func (s *Striped) RemoveAllWaitsBy(waiter txn.ID) {
+	for i := range s.stripes {
+		s.stripes[i].mutate(func(g *Graph) { g.RemoveAllWaitsBy(waiter) })
+	}
+}
+
+// WaiterCount returns how many transactions are blocked on holder,
+// summed across stripes (each waiter's arcs live in one stripe).
+func (s *Striped) WaiterCount(holder txn.ID) int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.g.WaiterCount(holder)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Label returns the entities labeling the waiter->holder arc, merged
+// across stripes and sorted.
+func (s *Striped) Label(waiter, holder txn.ID) []string {
+	out := make([]string, 0)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		out = append(out, st.g.Label(waiter, holder)...)
+		st.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshotRetries bounds epoch-validation retries before a
+// possibly-stale snapshot is accepted (see the type comment for why
+// staleness is safe).
+const snapshotRetries = 3
+
+// Snapshot merges the stripes into one Graph, epoch-validated with
+// bounded retry. The result is private to the caller.
+func (s *Striped) Snapshot() *Graph {
+	epochs := make([]uint64, s.k)
+	for attempt := 0; ; attempt++ {
+		g := NewInterned(s.names)
+		for i := range s.stripes {
+			epochs[i] = s.stripes[i].epoch.Load()
+		}
+		for i := range s.stripes {
+			st := &s.stripes[i]
+			st.mu.Lock()
+			copyArcs(st.g, g)
+			st.mu.Unlock()
+		}
+		stable := true
+		for i := range s.stripes {
+			if s.stripes[i].epoch.Load() != epochs[i] {
+				stable = false
+				break
+			}
+		}
+		if stable || attempt >= snapshotRetries {
+			return g
+		}
+	}
+}
+
+// copyArcs adds every labeled arc of src to dst. Caller synchronizes
+// src.
+func copyArcs(src, dst *Graph) {
+	for _, n := range src.nodes {
+		for i := range n.out {
+			for _, l := range n.out[i].labels {
+				dst.AddWaitID(n.id, n.out[i].to, l)
+			}
+		}
+	}
+}
+
+// Arcs returns all arcs of a merged snapshot, sorted by waiter, holder,
+// entity.
+func (s *Striped) Arcs() []Arc { return s.Snapshot().Arcs() }
+
+// CyclesThrough enumerates the simple cycles containing id on a merged
+// snapshot, up to limit (limit <= 0: unlimited). Successor order and
+// cycle shape match Graph.CyclesThrough, so victim selection is
+// unchanged by striping.
+func (s *Striped) CyclesThrough(id txn.ID, limit int) [][]txn.ID {
+	return s.Snapshot().CyclesThrough(id, limit)
+}
+
+// HasCycle reports whether any directed cycle exists on a merged
+// snapshot.
+func (s *Striped) HasCycle() bool { return s.Snapshot().HasCycle() }
+
+// IsForest reports Theorem 1's condition on a merged snapshot.
+func (s *Striped) IsForest() bool { return s.Snapshot().IsForest() }

@@ -18,6 +18,15 @@ go test -race ./...
 go test -race -count=1 ./internal/shard/
 go test -race -count=1 -run 'TestShardPropertySerializable|TestSingleShardIsUnshardedRegression' ./internal/sim/
 
+# Intra-shard striping's correctness surface: the striped lock-table
+# unit and concurrency tests, the stripes=1 / stripes>1 byte-identity
+# regressions under the deterministic drivers, and the concurrent
+# serializability sweep over stripes x burst (GOMAXPROCS=4 so the fast
+# paths genuinely run in parallel under the race detector).
+go test -race -count=1 -run 'TestFast|TestStriped|TestStripe|TestMigrate|TestSharedOwned' ./internal/lock/
+go test -race -count=1 -run 'TestStripedSequentialRegression|TestStripedShardedSequentialRegression' ./internal/sim/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestConcurrentStriped' ./internal/runtime/
+
 # Burst stepping's correctness surface, likewise explicit: the burst=1
 # byte-identity regression, the serializability property sweep at every
 # burst level (including adaptive, burst=-1), and the mixed-protocol
