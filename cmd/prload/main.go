@@ -62,6 +62,7 @@ var (
 	accounts = flag.Int("accounts", 16, "banking: accounts (must be <= server -accounts)")
 	balance  = flag.Int64("balance", 100, "banking: unused by the client, kept for symmetry")
 	counters = flag.Int("counters", 8, "counter: entities incremented (must be <= server -entities)")
+	entities = flag.Int("entities", 0, "uniform-random entity count: overrides -db (hotspot) and -counters (counter) with one knob, for sweeps where the entity set is the variable — e.g. 10x the server's -pool-pages working set (0 = use -db/-counters)")
 	bail     = flag.Bool("bail", false, "stop a client at its first failed transaction instead of moving on (crash-harness mode)")
 	verify   = flag.Int64("verify-sum-min", -1, "instead of generating load, read e0..e{counters-1} in one transaction and fail unless their sum >= this (-1 disables)")
 	seed     = flag.Int64("seed", 1, "workload seed (client i uses seed+i)")
@@ -149,6 +150,12 @@ type report struct {
 	// the counter or runs unpartitioned).
 	ServerShards  int     `json:"serverShards"`
 	ServerStripes int     `json:"serverStripes"`
+	// Entities is the configured entity-set size the workload drew from
+	// (-entities, falling back to -db/-counters per workload).
+	Entities int `json:"entities"`
+	// StoreBackend echoes the server's entity-store backend ("mem" or
+	// "paged"), derived from the store_paged STATS counter.
+	StoreBackend string `json:"storeBackend"`
 	Committed     int     `json:"committed"`
 	Failed        int     `json:"failed"`
 	Throughput    float64 `json:"throughputTxnPerSec"`
@@ -270,6 +277,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prload: ")
 	flag.Parse()
+
+	// -entities is the one-knob entity-set size: hotspot draws from a
+	// db that large and counter spreads increments over that many
+	// entities, so out-of-core sweeps don't have to know which workload
+	// they drive.
+	if *entities > 0 {
+		*db = *entities
+		*counters = *entities
+	}
 
 	if *verify >= 0 {
 		verifySum()
@@ -395,6 +411,8 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		ServerShards:  1,
 		ServerStripes: 1,
+		Entities:      workloadEntities(),
+		StoreBackend:  "mem",
 		Committed:     total.committed,
 		Failed:        total.failed,
 		Throughput:    throughput,
@@ -431,6 +449,12 @@ func main() {
 		if v := rep.ServerCounters["stripes"]; v > 1 {
 			rep.ServerStripes = int(v)
 		}
+		if rep.ServerCounters["store_paged"] == 1 {
+			rep.StoreBackend = "paged"
+			fmt.Printf("store: paged hits=%d misses=%d evictions=%d pinned=%d\n",
+				rep.ServerCounters["store_hits"], rep.ServerCounters["store_misses"],
+				rep.ServerCounters["store_evictions"], rep.ServerCounters["store_pinned_pages"])
+		}
 		fmt.Printf("wire: frames/txn=%.2f writer-flushes=%d (frames-out=%d)\n",
 			rep.WireFramesPerTxn, rep.WriterFlushes, rep.ServerCounters["frames_out"])
 		fmt.Printf("env: gomaxprocs=%d numcpu=%d server-shards=%d server-stripes=%d\n",
@@ -461,25 +485,20 @@ func main() {
 	}
 }
 
-// verifySum is the crash-harness check: one shared-lock transaction
-// reads every counter entity, and the sum is compared against the
+// verifySum is the crash-harness check: shared-lock transactions read
+// every counter entity, and the sum is compared against the
 // acknowledged-commit count from before the crash. Each counter commit
 // adds exactly one, retries and in-flight-but-unacknowledged commits
 // can only push the sum higher, so sum >= acked is precisely "no
 // acknowledged commit was lost".
+//
+// The read is chunked into transactions of at most verifyChunk
+// entities: multi-million-entity sweeps would otherwise build one
+// program with millions of operations. Verification runs after load
+// has stopped, so the values are stable and the chunked sum is exact.
+const verifyChunk = 512
+
 func verifySum() {
-	b := txn.NewProgram("verify-sum")
-	for i := 0; i < *counters; i++ {
-		b.Local(fmt.Sprintf("c%d", i), 0)
-	}
-	for i := 0; i < *counters; i++ {
-		ent := fmt.Sprintf("e%d", i)
-		b.LockS(ent).Read(ent, fmt.Sprintf("c%d", i))
-	}
-	p, err := b.Build()
-	if err != nil {
-		log.Fatalf("verify: building read transaction: %v", err)
-	}
 	c := client.New(client.Config{
 		Addr:           *addr,
 		RequestTimeout: *timeout,
@@ -489,19 +508,51 @@ func verifySum() {
 		Proto:          *proto,
 	})
 	defer c.Close()
-	res, err := c.Run(context.Background(), p)
-	if err != nil {
-		log.Fatalf("verify: read transaction failed: %v", err)
-	}
 	var sum int64
-	for _, v := range res.Locals {
-		sum += v
+	for lo := 0; lo < *counters; lo += verifyChunk {
+		hi := lo + verifyChunk
+		if hi > *counters {
+			hi = *counters
+		}
+		b := txn.NewProgram(fmt.Sprintf("verify-sum-%d", lo))
+		for i := lo; i < hi; i++ {
+			b.Local(fmt.Sprintf("c%d", i), 0)
+		}
+		for i := lo; i < hi; i++ {
+			ent := fmt.Sprintf("e%d", i)
+			b.LockS(ent).Read(ent, fmt.Sprintf("c%d", i))
+		}
+		p, err := b.Build()
+		if err != nil {
+			log.Fatalf("verify: building read transaction: %v", err)
+		}
+		res, err := c.Run(context.Background(), p)
+		if err != nil {
+			log.Fatalf("verify: read transaction e%d..e%d failed: %v", lo, hi-1, err)
+		}
+		for _, v := range res.Locals {
+			sum += v
+		}
 	}
 	fmt.Printf("verify: sum(e0..e%d)=%d acked=%d\n", *counters-1, sum, *verify)
 	if sum < *verify {
 		log.Fatalf("verify: DURABILITY VIOLATION: recovered sum %d < %d acknowledged commits", sum, *verify)
 	}
 	log.Printf("verify: ok (every acknowledged commit survived)")
+}
+
+// workloadEntities reports the entity-set size the run drew from, for
+// the JSON report.
+func workloadEntities() int {
+	switch *workload {
+	case "hotspot":
+		return *db
+	case "counter":
+		return *counters
+	case "banking":
+		return *accounts
+	}
+	return 0
 }
 
 // printAdminSummary folds the scraped histograms into the human report:

@@ -34,6 +34,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -76,6 +78,10 @@ var (
 	ckptBytes   = flag.Int64("checkpoint-bytes", 0, "take a checkpoint once this many new log bytes accumulate; 0 disables the byte trigger (requires -wal)")
 	ckptRetain  = flag.Int("retain", 2, "checkpoints kept on disk; sealed log segments are deleted only once the oldest retained checkpoint covers them")
 	ckptDelay   = flag.Duration("checkpoint-phase-delay", 0, "test knob: sleep between checkpoint phases (rotation, temp fsync, publication, removals) so a kill can land inside any crash window (0 disables)")
+	storeKind   = flag.String("store", "mem", "entity store backend: mem (dense in-RAM slices) | paged (heap file + bounded buffer pool; the entity set may exceed RAM)")
+	poolPages   = flag.Int("pool-pages", 64, "buffer-pool capacity in pages (-store paged); RAM for entity values is bounded by about page-size*pool-pages plus pages pinned by active transactions")
+	pageSize    = flag.Int("page-size", 4096, "heap-file page size in bytes (-store paged)")
+	heapPath    = flag.String("heap", "", "heap file path (-store paged); default <wal-dir>/heap.dat, or a file under the OS temp dir without -wal. Truncated at startup: the heap is a spill area, state is rebuilt from checkpoint + WAL")
 	admin       = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/waitfor, /debug/txns and pprof (empty disables)")
 	traceCap    = flag.Int("trace", 0, "enable transaction tracing, retaining the last N completed traces (0 disables; requires -admin)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
@@ -111,8 +117,35 @@ func parsePolicy(s string) (deadlock.Policy, error) {
 	return nil, fmt.Errorf("unknown policy %q", s)
 }
 
-func buildStore() *entity.Store {
-	store := entity.NewUniformStore("e", *entities, *initVal)
+func buildStore(onMiss func(ns int64)) (*entity.Store, error) {
+	var store *entity.Store
+	switch *storeKind {
+	case "mem":
+		store = entity.NewUniformStore("e", *entities, *initVal)
+	case "paged":
+		path := *heapPath
+		if path == "" {
+			if *walDir != "" {
+				path = filepath.Join(*walDir, "heap.dat")
+			} else {
+				path = filepath.Join(os.TempDir(), fmt.Sprintf("prserver-heap-%d.dat", os.Getpid()))
+			}
+		}
+		var err error
+		store, err = entity.NewUniformPagedStore("e", *entities, *initVal, entity.PagedConfig{
+			Path:      path,
+			PageSize:  *pageSize,
+			PoolPages: *poolPages,
+			OnMiss:    onMiss,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("store: paged backend (heap=%s page-size=%d pool-pages=%d, ~%d entities/page)",
+			path, *pageSize, *poolPages, *pageSize*8/65)
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want mem or paged)", *storeKind)
+	}
 	if *accounts > 0 {
 		names := make([]string, *accounts)
 		for i := range names {
@@ -122,7 +155,7 @@ func buildStore() *entity.Store {
 		store.AddConstraint(entity.SumConstraint(
 			"balance-sum", int64(*accounts)*(*balance), names...))
 	}
-	return store
+	return store, nil
 }
 
 func main() {
@@ -145,8 +178,29 @@ func main() {
 	if *stripes < 1 {
 		log.Fatalf("-stripes must be >= 1 (got %d)", *stripes)
 	}
+
+	// The metrics registry exists before the store so the paged
+	// backend's read-miss histogram can observe faults from the first
+	// recovery replay onward.
+	var registry *obs.Registry
+	var onMiss func(ns int64)
+	if *admin != "" {
+		registry = obs.NewRegistry()
+		missDur := registry.NewDurationHistogram("pr_store_read_miss_seconds",
+			"Wall time of each buffer-pool read miss (victim selection + flush-before-evict + page read).",
+			[]time.Duration{
+				time.Microsecond, 5 * time.Microsecond, 10 * time.Microsecond,
+				25 * time.Microsecond, 50 * time.Microsecond, 100 * time.Microsecond,
+				250 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+			})
+		onMiss = func(ns int64) { missDur.Observe(time.Duration(ns)) }
+	}
+	store, err := buildStore(onMiss)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := server.Config{
-		Store:          buildStore(),
+		Store:          store,
 		Strategy:       st,
 		Policy:         pol,
 		MaxSessions:    *maxSessions,
@@ -169,10 +223,8 @@ func main() {
 	var (
 		collector *obs.Collector
 		tracer    *obs.Tracer
-		registry  *obs.Registry
 	)
 	if *admin != "" {
-		registry = obs.NewRegistry()
 		collector = obs.NewCollector(registry)
 		cfg.OnEvent = collector.OnEvent
 		cfg.LockWait = collector.ObserveLockWait
@@ -271,6 +323,15 @@ func main() {
 		var snapVals []int64
 		var snapDefined []bool
 		snap := checkpoint.SnapshotFunc(func() []checkpoint.Entry {
+			// Paged backend: flush the dirty set first (we're under the
+			// engine quiesce, so nothing mutates) — the checkpoint is
+			// flush-all + snapshot, keeping the heap file a faithful
+			// mirror at every checkpoint boundary.
+			if store.Paged() {
+				if err := store.Flush(); err != nil {
+					log.Printf("checkpoint: heap flush: %v", err)
+				}
+			}
 			snapVals, snapDefined, _ = store.SnapshotSlices(snapVals, snapDefined)
 			entries := make([]checkpoint.Entry, 0, len(snapVals))
 			for i, ok := range snapDefined {
@@ -322,8 +383,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d stripes=%d burst=%d wal=%s)",
-		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *stripes, *burst, walDesc())
+	log.Printf("listening on %s (strategy=%s policy=%s entities=%d accounts=%d shards=%d stripes=%d burst=%d wal=%s store=%s)",
+		srv.Addr(), *strategy, *policy, *entities, *accounts, *shards, *stripes, *burst, walDesc(), *storeKind)
 
 	var adminSrv *http.Server
 	if *admin != "" {
@@ -338,6 +399,28 @@ func main() {
 			return out
 		})
 		obs.RegisterStripeAcquires(registry, srv.System())
+		registry.NewGauge("pr_runtime_heap_alloc_bytes",
+			"Live Go heap bytes (runtime.ReadMemStats), sampled at scrape time.",
+			func() int64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return int64(ms.HeapAlloc)
+			})
+		if cfg.Store.Paged() {
+			registry.NewGaugeSet("pr_store_", "Paged entity-store buffer pool counters.", func() []obs.KV {
+				ps := cfg.Store.PoolStats()
+				return []obs.KV{
+					{Name: "hits", Val: ps.Hits},
+					{Name: "misses", Val: ps.Misses},
+					{Name: "evictions", Val: ps.Evictions},
+					{Name: "flushes", Val: ps.Flushes},
+					{Name: "pinned_pages", Val: ps.PinnedPages},
+					{Name: "pool_frames", Val: ps.Frames},
+					{Name: "pool_overcap", Val: ps.OverCap},
+					{Name: "heap_pages", Val: ps.HeapPages},
+				}
+			})
+		}
 		if walSet != nil {
 			registry.NewGauge("pr_wal_recovery_duration_us",
 				"Startup recovery wall time in microseconds (checkpoint load + tail replay).",
@@ -465,6 +548,9 @@ func main() {
 	}
 	if err := cfg.Store.CheckConsistent(); err != nil {
 		log.Fatalf("store inconsistent after shutdown: %v", err)
+	}
+	if err := cfg.Store.Close(); err != nil {
+		log.Printf("store: close: %v", err)
 	}
 	log.Printf("store consistent; bye")
 }

@@ -51,6 +51,7 @@ func (s *System) Abort(id txn.ID) error {
 		}
 	}
 	delete(s.txns, id)
+	s.unpinAll(t)
 	s.wf.RemoveTxn(id)
 	s.stats.Aborts++
 	s.emit(Event{Kind: EventAbort, Txn: id, Detail: t.prog.Name})

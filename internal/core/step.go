@@ -441,6 +441,7 @@ func (s *System) commit(t *tstate) (CommitAck, error) {
 	t.slots = t.slots[:0]
 	t.status = StatusCommitted
 	t.pc = len(t.prog.Ops)
+	s.unpinAll(t)
 	s.wf.RemoveTxn(t.id)
 	if s.recorder != nil {
 		s.recorder.OnCommit(t.id)

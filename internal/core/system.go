@@ -262,6 +262,14 @@ type tstate struct {
 	waitEntity string
 	waitEnt    intern.ID
 
+	// pinned holds the lock-set entity IDs pinned in the paged store at
+	// Register (empty on the memory backend). Pins keep those pages
+	// resident so every store access on the step fast paths — grants,
+	// reads, installs are all against lock-set entities — is a buffer
+	// hit; they are released at commit or abort. Partial rollback keeps
+	// the transaction registered, so it keeps its pins.
+	pinned []intern.ID
+
 	unlocked     bool // entered shrinking phase; never rolled back again
 	declaredLast bool
 	// starveRounds counts deadlock resolutions this transaction's
@@ -520,10 +528,38 @@ func (s *System) Register(prog *txn.Program) (txn.ID, error) {
 			return txn.None, fmt.Errorf("core: program %s locks undefined entity %q", prog.Name, e)
 		}
 	}
+	// Paged backend: pin the lock set resident now, on the structural
+	// path where IO is allowed, so no later step — including the Tier
+	// A/B fast paths, which never take the exclusive engine lock —
+	// faults a page in. Every engine store access (grant copies, shared
+	// reads, installs) is against a lock-set entity, so pinning here
+	// covers them all.
+	if s.store.Paged() {
+		lockSet := a.LockSet()
+		t.pinned = make([]intern.ID, 0, len(lockSet))
+		for _, e := range lockSet {
+			ent := s.names.Intern(e)
+			if err := s.store.PinID(ent); err != nil {
+				s.unpinAll(t)
+				return txn.None, fmt.Errorf("core: program %s pin %q: %w", prog.Name, e, err)
+			}
+			t.pinned = append(t.pinned, ent)
+		}
+	}
 	s.txns[id] = t
 	s.wf.AddTxn(id)
 	s.emit(Event{Kind: EventRegister, Txn: id, Detail: prog.Name})
 	return id, nil
+}
+
+// unpinAll releases every page pin t holds (no-op on the memory
+// backend, where t.pinned is never populated). Called at commit and
+// abort — the two points a transaction leaves the active set.
+func (s *System) unpinAll(t *tstate) {
+	for _, ent := range t.pinned {
+		s.store.UnpinID(ent)
+	}
+	t.pinned = t.pinned[:0]
 }
 
 // MustRegister is Register that panics on error (fixtures and tests).

@@ -1,0 +1,157 @@
+package entity
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func newTestPagedStore(t *testing.T, n int, init int64) *Store {
+	t.Helper()
+	s, err := NewUniformPagedStore("e", n, init, PagedConfig{
+		Path:      filepath.Join(t.TempDir(), "heap.dat"),
+		PageSize:  128, // 15 slots/page: tiny, so n entities span many pages
+		PoolPages: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewUniformPagedStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestPagedStoreMatchesMemoryStore drives both backends through the
+// same operation sequence and compares every observable surface.
+func TestPagedStoreMatchesMemoryStore(t *testing.T) {
+	const n = 100 // ~7 pages through a 2-frame pool: constant eviction
+	mem := NewUniformStore("e", n, 10)
+	paged := newTestPagedStore(t, n, 10)
+
+	if !paged.Paged() || mem.Paged() {
+		t.Fatal("Paged() backend flags wrong")
+	}
+	ops := []struct {
+		name string
+		v    int64
+	}{
+		{"e3", 77}, {"e99", -5}, {"e0", 1 << 40}, {"e3", 78}, {"e50", 0},
+	}
+	for _, op := range ops {
+		if err := mem.Install(op.name, op.v); err != nil {
+			t.Fatal(err)
+		}
+		if err := paged.Install(op.name, op.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mem.Install("nope", 1); err == nil {
+		t.Fatal("mem install to undefined succeeded")
+	}
+	if err := paged.Install("nope", 1); err == nil {
+		t.Fatal("paged install to undefined succeeded")
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("e%d", i)
+		mv, mok := mem.Get(name)
+		pv, pok := paged.Get(name)
+		if mv != pv || mok != pok {
+			t.Fatalf("Get(%s): mem %d,%v paged %d,%v", name, mv, mok, pv, pok)
+		}
+	}
+	if !reflect.DeepEqual(mem.Snapshot(), paged.Snapshot()) {
+		t.Fatal("snapshots differ")
+	}
+	if !reflect.DeepEqual(mem.Names(), paged.Names()) {
+		t.Fatal("names differ")
+	}
+	if mem.Len() != paged.Len() {
+		t.Fatalf("Len: mem %d paged %d", mem.Len(), paged.Len())
+	}
+	mv, md, mn := mem.SnapshotSlices(nil, nil)
+	pv, pd, pn := paged.SnapshotSlices(nil, nil)
+	if !reflect.DeepEqual(mv, pv) || !reflect.DeepEqual(md, pd) || mn != pn {
+		t.Fatal("SnapshotSlices differ")
+	}
+	if st := paged.PoolStats(); st.Evictions == 0 {
+		t.Fatalf("working set 7x pool but no evictions: %+v", st)
+	}
+
+	// Restore round-trips on both.
+	snap := map[string]int64{"e1": 11, "e2": 22}
+	mem.Restore(snap)
+	paged.Restore(snap)
+	if !reflect.DeepEqual(mem.Snapshot(), paged.Snapshot()) {
+		t.Fatal("snapshots differ after Restore")
+	}
+	if mem.Len() != 2 || paged.Len() != 2 {
+		t.Fatalf("Len after restore: mem %d paged %d", mem.Len(), paged.Len())
+	}
+	if _, ok := paged.IDOf("e3"); ok {
+		t.Fatal("undefined-after-restore entity still resolves")
+	}
+}
+
+func TestPagedInstallHookOrdering(t *testing.T) {
+	s := newTestPagedStore(t, 30, 0)
+	var hooked []string
+	s.SetInstallHook(func(name string, v int64) {
+		// Runs under the store lock — no store calls from here (same
+		// contract the WAL hook honors).
+		hooked = append(hooked, fmt.Sprintf("%s=%d", name, v))
+	})
+	if err := s.Install("e5", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install("zzz-undefined", 1); err == nil {
+		t.Fatal("install to undefined succeeded")
+	}
+	if len(hooked) != 1 || hooked[0] != "e5=42" {
+		t.Fatalf("hook log = %v (undefined installs must not reach the hook)", hooked)
+	}
+}
+
+func TestPagedPinUnpin(t *testing.T) {
+	s := newTestPagedStore(t, 100, 0)
+	id, ok := s.IDOf("e0")
+	if !ok {
+		t.Fatal("e0 undefined")
+	}
+	if err := s.PinID(id); err != nil {
+		t.Fatalf("PinID: %v", err)
+	}
+	if got := s.PoolStats().PinnedPages; got != 1 {
+		t.Fatalf("PinnedPages = %d", got)
+	}
+	s.UnpinID(id)
+	if got := s.PoolStats().PinnedPages; got != 0 {
+		t.Fatalf("PinnedPages after unpin = %d", got)
+	}
+
+	// Memory stores accept pin/unpin as no-ops.
+	mem := NewUniformStore("e", 4, 0)
+	if err := mem.PinID(0); err != nil {
+		t.Fatal(err)
+	}
+	mem.UnpinID(0)
+}
+
+func TestUniformStoreNamesUnchanged(t *testing.T) {
+	// The strconv rewrite must produce the exact historical names.
+	s := NewUniformStore("acct", 12, 5)
+	for i := 0; i < 12; i++ {
+		want := fmt.Sprintf("acct%d", i)
+		if !s.Exists(want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if s.Len() != 12 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func BenchmarkNewUniformStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewUniformStore("e", 100000, 0)
+	}
+}

@@ -20,20 +20,52 @@ package entity
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"partialrollback/internal/intern"
+	"partialrollback/internal/page"
 )
 
 // Store is the global entity map. It is safe for concurrent use.
+//
+// Values live in one of two backends. The default (and historical)
+// backend is two dense slices indexed by intern.ID — every access is a
+// bounds check and an array read under the lock. The paged backend
+// (NewPagedStore) replaces the slices with a page.Pool: a heap file
+// plus a bounded buffer pool, so the entity space can outgrow RAM. The
+// interning contract is identical either way — IDs are dense,
+// append-only, and shared with the lock table and wait-for graph — so
+// everything above this type is oblivious to the backend. Heap-file IO
+// errors on the read path panic (like reads of undefined entities):
+// the heap is this process's spill area and losing it mid-run is not a
+// recoverable condition — durability lives in the WAL, not here.
 type Store struct {
 	mu          sync.RWMutex
 	names       *intern.Table
-	vals        []int64 // indexed by intern.ID
-	defined     []bool  // indexed by intern.ID
+	vals        []int64 // indexed by intern.ID (memory backend)
+	defined     []bool  // indexed by intern.ID (memory backend)
 	nDefined    int
+	width       int // paged backend: 1 + highest ID ever defined
+	pool        *page.Pool
 	constraints []Constraint
 	installHook func(name string, v int64)
+}
+
+// PagedConfig configures the paged (beyond-RAM) backend.
+type PagedConfig struct {
+	// Path is the heap file location. It is truncated on open: the heap
+	// is a spill area, rebuilt from checkpoint + WAL by the durability
+	// layer, never a source of truth.
+	Path string
+	// PageSize in bytes (default 4096) and PoolPages frames (default
+	// 64) bound the pool's memory at roughly PageSize*PoolPages plus
+	// the concurrently pinned working set.
+	PageSize  int
+	PoolPages int
+	// OnMiss, when non-nil, observes each read-miss latency in
+	// nanoseconds (wired to the obs histogram by prserver).
+	OnMiss func(ns int64)
 }
 
 // Constraint is a named predicate over a snapshot of the database,
@@ -61,11 +93,109 @@ func NewStore(initial map[string]int64) *Store {
 // NewUniformStore creates a store with n entities named by prefix and
 // index ("e0".."e{n-1}" for prefix "e"), all holding init.
 func NewUniformStore(prefix string, n int, init int64) *Store {
-	s := &Store{names: intern.NewTable()}
-	for i := 0; i < n; i++ {
-		s.Define(fmt.Sprintf("%s%d", prefix, i), init)
+	s := &Store{
+		names:   intern.NewTable(),
+		vals:    make([]int64, 0, n),
+		defined: make([]bool, 0, n),
 	}
+	defineUniform(s, prefix, n, init)
 	return s
+}
+
+// defineUniform defines prefix0..prefix{n-1}, formatting names into one
+// reused buffer — multi-million-entity stores are too big for a
+// fmt.Sprintf per name.
+func defineUniform(s *Store, prefix string, n int, init int64) {
+	buf := make([]byte, 0, len(prefix)+20)
+	for i := 0; i < n; i++ {
+		buf = append(buf[:0], prefix...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		s.Define(string(buf), init)
+	}
+}
+
+// NewPagedStore creates a store over the paged backend with the given
+// initial values. The caller owns the heap file path and should Close
+// the store on shutdown (Close flushes and releases the heap file).
+func NewPagedStore(initial map[string]int64, cfg PagedConfig) (*Store, error) {
+	pool, err := page.Open(cfg.Path, page.Options{
+		PageSize:  cfg.PageSize,
+		PoolPages: cfg.PoolPages,
+		OnMiss:    cfg.OnMiss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{names: intern.NewTable(), pool: pool}
+	keys := make([]string, 0, len(initial))
+	for k := range initial {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Define(k, initial[k])
+	}
+	return s, nil
+}
+
+// NewUniformPagedStore is NewUniformStore over the paged backend.
+func NewUniformPagedStore(prefix string, n int, init int64, cfg PagedConfig) (*Store, error) {
+	pool, err := page.Open(cfg.Path, page.Options{
+		PageSize:  cfg.PageSize,
+		PoolPages: cfg.PoolPages,
+		OnMiss:    cfg.OnMiss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{names: intern.NewTable(), pool: pool}
+	defineUniform(s, prefix, n, init)
+	return s, nil
+}
+
+// Paged reports whether this store runs over the paged backend.
+func (s *Store) Paged() bool { return s.pool != nil }
+
+// PoolStats returns the paged backend's counters (zero if memory-backed).
+func (s *Store) PoolStats() page.Stats {
+	if s.pool == nil {
+		return page.Stats{}
+	}
+	return s.pool.Stats()
+}
+
+// PinID faults the entity's page resident and holds it there until
+// UnpinID; a no-op on the memory backend. The engine pins a
+// transaction's whole lock set at registration (the structural path,
+// where IO is allowed) so the step fast paths never fault.
+func (s *Store) PinID(id intern.ID) error {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Pin(uint32(id))
+}
+
+// UnpinID releases one PinID; a no-op on the memory backend.
+func (s *Store) UnpinID(id intern.ID) {
+	if s.pool != nil {
+		s.pool.Unpin(uint32(id))
+	}
+}
+
+// Flush writes all dirty pages to the heap file (no-op if memory-backed).
+func (s *Store) Flush() error {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.FlushAll()
+}
+
+// Close flushes and closes the paged backend (no-op if memory-backed).
+func (s *Store) Close() error {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Close()
 }
 
 // Interner exposes the store's name↔ID table. The lock table, wait-for
@@ -78,9 +208,7 @@ func (s *Store) IDOf(name string) (intern.ID, bool) {
 	if !ok {
 		return intern.None, false
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if int(id) >= len(s.defined) || !s.defined[id] {
+	if _, ok := s.GetID(id); !ok {
 		return intern.None, false
 	}
 	return id, true
@@ -104,6 +232,16 @@ func (s *Store) Get(name string) (int64, bool) {
 func (s *Store) GetID(id intern.ID) (int64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.pool != nil {
+		if int(id) >= s.width {
+			return 0, false
+		}
+		v, ok, err := s.pool.Read(uint32(id))
+		if err != nil {
+			panic(fmt.Sprintf("entity: paged read of %q: %v", s.names.Name(id), err))
+		}
+		return v, ok
+	}
 	if int(id) >= len(s.defined) || !s.defined[id] {
 		return 0, false
 	}
@@ -136,6 +274,19 @@ func (s *Store) Define(name string, v int64) intern.ID {
 	id := s.names.Intern(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pool != nil {
+		fresh, err := s.pool.Define(uint32(id), v)
+		if err != nil {
+			panic(fmt.Sprintf("entity: paged define of %q: %v", name, err))
+		}
+		if fresh {
+			s.nDefined++
+		}
+		if int(id) >= s.width {
+			s.width = int(id) + 1
+		}
+		return id
+	}
 	for int(id) >= len(s.vals) {
 		s.vals = append(s.vals, 0)
 		s.defined = append(s.defined, false)
@@ -170,6 +321,29 @@ func (s *Store) Install(name string, v int64) error {
 func (s *Store) InstallID(id intern.ID, v int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pool != nil {
+		// Defined check first (the hook must only observe installs that
+		// will succeed), then hook, then write — same write-ahead
+		// ordering as the memory path. The read faults the page in, so
+		// the write is a guaranteed hit.
+		if int(id) >= s.width {
+			return fmt.Errorf("entity: install to undefined entity %q", s.names.Name(id))
+		}
+		_, def, err := s.pool.Read(uint32(id))
+		if err != nil {
+			panic(fmt.Sprintf("entity: paged install of %q: %v", s.names.Name(id), err))
+		}
+		if !def {
+			return fmt.Errorf("entity: install to undefined entity %q", s.names.Name(id))
+		}
+		if s.installHook != nil {
+			s.installHook(s.names.Name(id), v)
+		}
+		if _, err := s.pool.Write(uint32(id), v); err != nil {
+			panic(fmt.Sprintf("entity: paged install of %q: %v", s.names.Name(id), err))
+		}
+		return nil
+	}
 	if int(id) >= len(s.defined) || !s.defined[id] {
 		return fmt.Errorf("entity: install to undefined entity %q", s.names.Name(id))
 	}
@@ -194,12 +368,42 @@ func (s *Store) Snapshot() map[string]int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]int64, s.nDefined)
+	if s.pool != nil {
+		vals, defined := s.snapshotPagedLocked(nil, nil)
+		for id, def := range defined {
+			if def {
+				out[s.names.Name(intern.ID(id))] = vals[id]
+			}
+		}
+		return out
+	}
 	for id, def := range s.defined {
 		if def {
 			out[s.names.Name(intern.ID(id))] = s.vals[id]
 		}
 	}
 	return out
+}
+
+// snapshotPagedLocked scans the paged backend into vals/defined (grown
+// as needed). Caller holds at least s.mu.RLock; a consistent snapshot
+// additionally needs writers excluded (the checkpoint path runs under
+// the engine quiesce).
+func (s *Store) snapshotPagedLocked(vals []int64, defined []bool) ([]int64, []bool) {
+	if cap(vals) < s.width {
+		vals = make([]int64, s.width)
+	} else {
+		vals = vals[:s.width]
+	}
+	if cap(defined) < s.width {
+		defined = make([]bool, s.width)
+	} else {
+		defined = defined[:s.width]
+	}
+	if err := s.pool.SnapshotRange(s.width, vals, defined); err != nil {
+		panic(fmt.Sprintf("entity: paged snapshot: %v", err))
+	}
+	return vals, defined
 }
 
 // SnapshotSlices copies the dense value and defined slices into the
@@ -212,6 +416,10 @@ func (s *Store) Snapshot() map[string]int64 {
 func (s *Store) SnapshotSlices(vals []int64, defined []bool) ([]int64, []bool, int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.pool != nil {
+		vals, defined = s.snapshotPagedLocked(vals, defined)
+		return vals, defined, s.nDefined
+	}
 	vals = append(vals[:0], s.vals...)
 	defined = append(defined[:0], s.defined...)
 	return vals, defined, s.nDefined
@@ -222,6 +430,13 @@ func (s *Store) SnapshotSlices(vals []int64, defined []bool) ([]int64, []bool, i
 // reserved (IDs are never reused).
 func (s *Store) Restore(snap map[string]int64) {
 	s.mu.Lock()
+	if s.pool != nil {
+		for id := 0; id < s.width; id++ {
+			if _, err := s.pool.Undefine(uint32(id)); err != nil {
+				panic(fmt.Sprintf("entity: paged restore: %v", err))
+			}
+		}
+	}
 	for i := range s.defined {
 		s.defined[i] = false
 	}
@@ -242,6 +457,16 @@ func (s *Store) Names() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, s.nDefined)
+	if s.pool != nil {
+		_, defined := s.snapshotPagedLocked(nil, nil)
+		for id, def := range defined {
+			if def {
+				out = append(out, s.names.Name(intern.ID(id)))
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
 	for id, def := range s.defined {
 		if def {
 			out = append(out, s.names.Name(intern.ID(id)))

@@ -1,0 +1,278 @@
+package page
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newPool(t *testing.T, opts Options) *Pool {
+	t.Helper()
+	p, err := Open(filepath.Join(t.TempDir(), "heap.dat"), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestDefineReadWrite(t *testing.T) {
+	p := newPool(t, Options{PageSize: 128, PoolPages: 2})
+	if p.SlotsPerPage() != 128*8/65 {
+		t.Fatalf("SlotsPerPage = %d, want %d", p.SlotsPerPage(), 128*8/65)
+	}
+
+	// Undefined slot reads as zero/false.
+	if v, ok, err := p.Read(7); err != nil || ok || v != 0 {
+		t.Fatalf("Read undefined = %d,%v,%v", v, ok, err)
+	}
+	// Write to undefined slot reports ok=false.
+	if ok, err := p.Write(7, 5); err != nil || ok {
+		t.Fatalf("Write undefined = %v,%v", ok, err)
+	}
+	// Define then read back; negative values round-trip.
+	if fresh, err := p.Define(7, -42); err != nil || !fresh {
+		t.Fatalf("Define = %v,%v", fresh, err)
+	}
+	if v, ok, err := p.Read(7); err != nil || !ok || v != -42 {
+		t.Fatalf("Read = %d,%v,%v", v, ok, err)
+	}
+	// Redefine is not fresh.
+	if fresh, err := p.Define(7, 1); err != nil || fresh {
+		t.Fatalf("redefine = %v,%v", fresh, err)
+	}
+	// Write to defined slot succeeds.
+	if ok, err := p.Write(7, 99); err != nil || !ok {
+		t.Fatalf("Write = %v,%v", ok, err)
+	}
+	if v, _, _ := p.Read(7); v != 99 {
+		t.Fatalf("Read after write = %d", v)
+	}
+	// Undefine clears it.
+	if was, err := p.Undefine(7); err != nil || !was {
+		t.Fatalf("Undefine = %v,%v", was, err)
+	}
+	if _, ok, _ := p.Read(7); ok {
+		t.Fatal("slot still defined after Undefine")
+	}
+}
+
+// TestEvictionRoundTrip drives the working set far past the pool and
+// checks every value survives eviction and fault-in.
+func TestEvictionRoundTrip(t *testing.T) {
+	p := newPool(t, Options{PageSize: 128, PoolPages: 3})
+	per := p.SlotsPerPage()
+	n := per * 20 // 20 pages through a 3-frame pool
+	for i := 0; i < n; i++ {
+		if _, err := p.Define(uint32(i), int64(i)*3); err != nil {
+			t.Fatalf("Define %d: %v", i, err)
+		}
+	}
+	st := p.Stats()
+	if st.Evictions == 0 || st.Flushes == 0 {
+		t.Fatalf("expected evictions and flushes, got %+v", st)
+	}
+	if st.Frames > int64(p.Cap()) {
+		t.Fatalf("frames %d exceed cap %d with nothing pinned", st.Frames, p.Cap())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 500; k++ {
+		i := rng.Intn(n)
+		v, ok, err := p.Read(uint32(i))
+		if err != nil || !ok || v != int64(i)*3 {
+			t.Fatalf("Read %d = %d,%v,%v want %d", i, v, ok, err, i*3)
+		}
+	}
+}
+
+// TestPinnedNeverEvicted is the property test from the issue: a pinned
+// page must survive arbitrary fault pressure without a disk re-read,
+// including pressure that forces over-capacity allocation.
+func TestPinnedNeverEvicted(t *testing.T) {
+	p := newPool(t, Options{PageSize: 128, PoolPages: 2})
+	per := p.SlotsPerPage()
+	pinned := uint32(0)
+	if _, err := p.Define(pinned, 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(pinned); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if got := p.Stats().PinnedPages; got != 1 {
+		t.Fatalf("PinnedPages = %d, want 1", got)
+	}
+	// Fault 50 distinct pages through a 2-frame pool.
+	for pg := 1; pg <= 50; pg++ {
+		if _, err := p.Define(uint32(pg*per), int64(pg)); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Resident(pinned) {
+			t.Fatalf("pinned page evicted after faulting page %d", pg)
+		}
+	}
+	missesBefore := p.Stats().Misses
+	if v, ok, _ := p.Read(pinned); !ok || v != 123 {
+		t.Fatalf("pinned read = %d,%v", v, ok)
+	}
+	if p.Stats().Misses != missesBefore {
+		t.Fatal("reading a pinned slot missed")
+	}
+
+	// Pin a second slot on another page: with both frames pinned, a
+	// fault must over-allocate rather than evict a pinned page.
+	other := uint32(60 * per)
+	if _, err := p.Define(other, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(other); err != nil {
+		t.Fatal(err)
+	}
+	for p.Stats().Frames <= int64(p.Cap()) {
+		// Evictions of unpinned frames may absorb a few faults first.
+		pg := p.Stats().Misses + 100
+		if _, _, err := p.Read(uint32(int(pg) * per)); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Resident(pinned) || !p.Resident(other) {
+			t.Fatal("pinned page evicted under full-pin pressure")
+		}
+	}
+	if p.Stats().OverCap == 0 {
+		t.Fatal("expected an over-capacity allocation")
+	}
+
+	// Unpin both; continued pressure shrinks residency back to normal
+	// eviction behavior (pinned pages become evictable).
+	p.Unpin(pinned)
+	p.Unpin(other)
+	if got := p.Stats().PinnedPages; got != 0 {
+		t.Fatalf("PinnedPages = %d after unpin, want 0", got)
+	}
+	for pg := 100; pg < 160; pg++ {
+		if _, _, err := p.Read(uint32(pg * per)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Resident(pinned) && p.Resident(other) {
+		t.Fatal("both unpinned pages survived 60 faults through a tiny pool")
+	}
+}
+
+func TestUnpinUnpinnedPanics(t *testing.T) {
+	p := newPool(t, Options{PageSize: 128, PoolPages: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin of unpinned page did not panic")
+		}
+	}()
+	p.Unpin(0)
+}
+
+// TestSnapshotRangeSeesDirtyResident checks the checkpoint path: a
+// snapshot must merge dirty resident frames with on-disk pages, and
+// must not admit non-resident pages into the pool.
+func TestSnapshotRangeSeesDirtyResident(t *testing.T) {
+	p := newPool(t, Options{PageSize: 128, PoolPages: 2})
+	per := p.SlotsPerPage()
+	n := per * 6
+	for i := 0; i < n; i++ {
+		if _, err := p.Define(uint32(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch slot 0 so page 0 is resident and dirty, leaving older
+	// pages flushed and evicted.
+	if ok, err := p.Write(0, -1); err != nil || !ok {
+		t.Fatal(err)
+	}
+	framesBefore := p.Stats().Frames
+	vals := make([]int64, n)
+	defined := make([]bool, n)
+	if err := p.SnapshotRange(n, vals, defined); err != nil {
+		t.Fatalf("SnapshotRange: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := int64(i)
+		if i == 0 {
+			want = -1
+		}
+		if !defined[i] || vals[i] != want {
+			t.Fatalf("snapshot[%d] = %d,%v want %d", i, vals[i], defined[i], want)
+		}
+	}
+	if p.Stats().Frames != framesBefore {
+		t.Fatal("SnapshotRange admitted pages into the pool")
+	}
+}
+
+func TestFlushAllAndReopenReads(t *testing.T) {
+	p := newPool(t, Options{PageSize: 128, PoolPages: 2})
+	per := p.SlotsPerPage()
+	for i := 0; i < per*4; i++ {
+		if _, err := p.Define(uint32(i), int64(i)+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	// After a flush, a snapshot of purely on-disk state matches.
+	n := per * 4
+	vals := make([]int64, n)
+	defined := make([]bool, n)
+	if err := p.SnapshotRange(n, vals, defined); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !defined[i] || vals[i] != int64(i)+1000 {
+			t.Fatalf("slot %d = %d,%v", i, vals[i], defined[i])
+		}
+	}
+}
+
+func TestOnMissObserved(t *testing.T) {
+	var misses int
+	p, err := Open(filepath.Join(t.TempDir(), "heap.dat"), Options{
+		PageSize: 128, PoolPages: 2,
+		OnMiss: func(ns int64) {
+			if ns < 0 {
+				t.Errorf("negative miss latency %d", ns)
+			}
+			misses++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	per := p.SlotsPerPage()
+	for pg := 0; pg < 8; pg++ {
+		if _, err := p.Define(uint32(pg*per), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int64(misses) != p.Stats().Misses {
+		t.Fatalf("OnMiss fired %d times, stats say %d", misses, p.Stats().Misses)
+	}
+	if misses < 8 {
+		t.Fatalf("expected >=8 misses, got %d", misses)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "a"), Options{PageSize: 64}); err == nil {
+		t.Fatal("tiny page size accepted")
+	}
+	if _, err := Open(filepath.Join(dir, "b"), Options{PoolPages: 1}); err == nil {
+		t.Fatal("one-frame pool accepted")
+	}
+	p, err := Open(filepath.Join(dir, "c"), Options{})
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	defer p.Close()
+	if p.SlotsPerPage() != 4096*8/65 || p.Cap() != 64 {
+		t.Fatalf("defaults = %d slots, cap %d", p.SlotsPerPage(), p.Cap())
+	}
+}

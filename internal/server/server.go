@@ -477,6 +477,18 @@ func (s *Server) Counters() []wire.Counter {
 	if s.cfg.Stripes > 1 {
 		out = append(out, wire.Counter{Name: "stripes", Val: int64(s.cfg.Stripes)})
 	}
+	if s.cfg.Store.Paged() {
+		ps := s.cfg.Store.PoolStats()
+		out = append(out,
+			wire.Counter{Name: "store_paged", Val: 1},
+			wire.Counter{Name: "store_pool_pages", Val: ps.Frames},
+			wire.Counter{Name: "store_hits", Val: ps.Hits},
+			wire.Counter{Name: "store_misses", Val: ps.Misses},
+			wire.Counter{Name: "store_evictions", Val: ps.Evictions},
+			wire.Counter{Name: "store_flushes", Val: ps.Flushes},
+			wire.Counter{Name: "store_pinned_pages", Val: ps.PinnedPages},
+		)
+	}
 	if s.sharded != nil {
 		out = append(out, wire.Counter{Name: "shards", Val: int64(s.sharded.Shards())})
 		for k, sh := range s.sharded.ShardStats() {

@@ -160,6 +160,16 @@ func NewUniformStore(prefix string, n int, init int64) *Store {
 	return entity.NewUniformStore(prefix, n, init)
 }
 
+// PagedConfig configures the paged (beyond-RAM) store backend: a heap
+// file of fixed-size pages plus a bounded pinning buffer pool.
+type PagedConfig = entity.PagedConfig
+
+// NewPagedStore creates a store over the paged backend; the entity set
+// may exceed RAM. Close the store on shutdown.
+func NewPagedStore(initial map[string]int64, cfg PagedConfig) (*Store, error) {
+	return entity.NewPagedStore(initial, cfg)
+}
+
 // SumConstraint asserts the listed entities always sum to want.
 func SumConstraint(name string, want int64, entities ...string) Constraint {
 	return entity.SumConstraint(name, want, entities...)

@@ -13,3 +13,8 @@ set -eux
 
 go test -race -count=1 -run 'ZeroAlloc' -bench . -benchtime 1x \
     ./internal/lock ./internal/waitfor ./internal/core ./internal/value
+
+# The entity-store benchmarks (uniform-store construction, paged-pool
+# paths) live apart from the zero-alloc pins: store construction
+# allocates by design.
+go test -race -count=1 -run 'NONE' -bench . -benchtime 1x ./internal/entity

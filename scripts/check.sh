@@ -54,11 +54,26 @@ go test -race -count=1 ./internal/wal/ ./internal/durable/
 go test -race -count=1 ./internal/checkpoint/
 go test -race -count=1 -run 'TestRotation|TestCheckpoint|TestRecoveryPrefers|TestNoCheckpointByteIdentity' ./internal/durable/
 
+# The paged entity store's correctness surface: the page/pool unit
+# tests (incl. the pinned-never-evicted property), the paged-vs-memory
+# backend byte-identity regression, the recovery-into-paged-store
+# tests, and the concurrent banking run over a pool smaller than the
+# working set.
+go test -race -count=1 ./internal/page/ ./internal/entity/
+go test -race -count=1 -run 'TestPagedStoreSequentialRegression' ./internal/sim/
+go test -race -count=1 -run 'TestRecoveryIntoPagedStore' ./internal/durable/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestConcurrentPagedBank' ./internal/runtime/
+
+# Out-of-core end-to-end: a paged-backend server over an entity set
+# ~17x its buffer pool must evict throughout and still account for
+# every acknowledged commit exactly (fast bounded-memory smoke gate).
+./scripts/smoke_paged.sh
+
 # Crash recovery end-to-end: kill -9 a WAL-backed prserver mid-load
 # (including rounds with an active checkpointer and phase delays so
-# kills land inside in-progress checkpoints and mid-compaction),
-# restart it over the same log, and verify by arithmetic that every
-# acknowledged commit survived.
+# kills land inside in-progress checkpoints and mid-compaction, and a
+# final round against -store paged), restart it over the same log, and
+# verify by arithmetic that every acknowledged commit survived.
 ./scripts/smoke_recovery.sh
 
 # Micro-benchmarks: one race-enabled iteration each, plus the
